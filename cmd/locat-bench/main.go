@@ -1,0 +1,70 @@
+// Command locat-bench regenerates the paper's evaluation figures and tables
+// on the simulated clusters.
+//
+// Usage:
+//
+//	locat-bench -fig fig11            # one experiment
+//	locat-bench -all                  # every experiment (several minutes)
+//	locat-bench -all -quick           # reduced budgets (seconds–minutes)
+//	locat-bench -list                 # list experiment IDs
+//
+// Each experiment prints the same rows/series the corresponding paper figure
+// reports; EXPERIMENTS.md records the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"locat/internal/experiments"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "experiment ID to run (fig2..fig21, table3)")
+		all   = flag.Bool("all", false, "run every experiment")
+		quick = flag.Bool("quick", false, "reduced budgets for a fast pass")
+		list  = flag.Bool("list", false, "list experiment IDs")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		ids = experiments.IDs()
+	case *fig != "":
+		ids = []string{*fig}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: locat-bench -fig <id> | -all [-quick] (use -list for IDs)")
+		os.Exit(2)
+	}
+
+	s := experiments.NewSession(*seed, *quick)
+	for _, id := range ids {
+		run, ok := experiments.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "locat-bench: unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tables, err := run(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "locat-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for i := range tables {
+			tables[i].Render(os.Stdout)
+		}
+		fmt.Printf("(%s finished in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,39 @@
+// hibench-tuning tunes all three HiBench SQL workloads and contrasts what
+// the analysis stages find: Scan is configuration-insensitive (bounded by
+// aggregate disk bandwidth), Join and Aggregation are shuffle-bound and
+// reward memory/partition tuning — the Section 5.11 taxonomy on the
+// smallest possible applications.
+//
+//	go run ./examples/hibench-tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"locat"
+)
+
+func main() {
+	for _, bench := range []string{"Scan", "Join", "Aggregation"} {
+		res, err := locat.Tune(locat.Options{
+			Benchmark:  bench,
+			DataSizeGB: 300,
+			Seed:       5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		speedup := res.DefaultSeconds / res.TunedSeconds
+		fmt.Printf("%-12s default %6.0f s → tuned %6.0f s (%.2fx), overhead %5.1f h, %d important params\n",
+			bench, res.DefaultSeconds, res.TunedSeconds, speedup,
+			res.OverheadSeconds/3600, len(res.ImportantParams))
+		for i, p := range res.ImportantParams {
+			if i >= 5 {
+				fmt.Printf("               … and %d more\n", len(res.ImportantParams)-5)
+				break
+			}
+			fmt.Printf("               %-50s = %g\n", p, res.BestParams[p])
+		}
+	}
+}

@@ -1,0 +1,40 @@
+// Quickstart: tune TPC-H on the simulated x86 cluster at 100 GB with the
+// full LOCAT pipeline and print what the tuner found.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"locat"
+)
+
+func main() {
+	res, err := locat.Tune(locat.Options{
+		Cluster:    "x86",
+		Benchmark:  "TPC-H",
+		DataSizeGB: 100,
+		Seed:       42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("LOCAT quickstart — TPC-H @ 100 GB on the x86 cluster")
+	fmt.Printf("  Spark defaults run the suite in %.0f s.\n", res.DefaultSeconds)
+	fmt.Printf("  The tuned configuration runs it in %.0f s (%.2fx faster).\n",
+		res.TunedSeconds, res.DefaultSeconds/res.TunedSeconds)
+	fmt.Printf("  Finding it cost %.1f simulated cluster-hours across %d runs\n",
+		res.OverheadSeconds/3600, res.Runs)
+	fmt.Printf("  (wall-clock on this machine: %s).\n\n", res.Elapsed.Round(1e6))
+
+	fmt.Printf("QCSA kept %d of 22 queries as configuration-sensitive:\n  %v\n\n",
+		len(res.SensitiveQueries), res.SensitiveQueries)
+
+	fmt.Printf("IICP narrowed tuning to %d important parameters:\n", len(res.ImportantParams))
+	for _, p := range res.ImportantParams {
+		fmt.Printf("  %-58s = %g\n", p, res.BestParams[p])
+	}
+}

@@ -1,0 +1,112 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"locat/internal/conf"
+	"locat/internal/sparksim"
+)
+
+// GBORL reproduces the guided-Bayesian-optimization + RL tuner for
+// memory-based analytics: an analytical model of Spark's unified memory
+// manager proposes settings for the memory parameters (the white-box
+// "guided" part), and an ε-greedy reinforcement-learning hill climber tunes
+// the remaining parameters one action at a time. The paper observes that
+// GBO-RL "only considers memory and the analytical model is inaccurate" —
+// reproduced here by the guidance touching memory parameters only and by
+// the hill climber's slow per-action progress.
+type GBORL struct {
+	// MemProbes is the number of guided memory-configuration probes
+	// (default 24).
+	MemProbes int
+	// RLSteps is the ε-greedy hill-climbing budget (default 200).
+	RLSteps int
+	// Epsilon is the exploration probability (default 0.25).
+	Epsilon float64
+	// Restrict, when non-nil, limits the RL hill climber to the given
+	// subspace (the Figure 21 IICP hybrid); the memory-guidance stage still
+	// reasons over the full memory parameters.
+	Restrict SearchSpace
+}
+
+// NewGBORL returns GBO-RL with its published-shape defaults.
+func NewGBORL() *GBORL { return &GBORL{MemProbes: 24, RLSteps: 200, Epsilon: 0.25} }
+
+// Name implements Tuner.
+func (g *GBORL) Name() string { return "GBO-RL" }
+
+// memoryParams are the parameters GBO-RL's analytical model reasons about.
+var memoryParams = []int{
+	conf.PExecutorMemory, conf.PExecutorMemoryOverhead, conf.PMemoryFraction,
+	conf.PMemoryStorageFraction, conf.POffHeapEnabled, conf.POffHeapSize,
+	conf.PExecutorCores,
+}
+
+// Tune implements Tuner.
+func (g *GBORL) Tune(sim *sparksim.Simulator, app *sparksim.Application, targetGB float64, seed int64) (*Report, error) {
+	space := sim.Space()
+	rng := rand.New(rand.NewSource(seed))
+	b := &budgeted{sim: sim, app: app, gb: targetGB, rep: &Report{Tuner: g.Name()}}
+
+	// Stage 1 — analytical memory guidance: the white-box model predicts
+	// that the per-task execution memory should cover the expected working
+	// set; it enumerates heap/off-heap splits and fractions around that
+	// prediction and probes them on the cluster.
+	best := space.Default()
+	bestSec := b.run(best)
+	for i := 0; i < g.MemProbes; i++ {
+		c := best.Clone()
+		for _, j := range memoryParams {
+			r := space.RangeOf(j)
+			// The model prefers large heaps, low storage fractions and
+			// enough off-heap to shield the collector; its inaccuracy is a
+			// uniform draw biased toward that region.
+			bias := 0.6 + 0.4*rng.Float64()
+			if j == conf.PMemoryStorageFraction {
+				bias = 1 - bias
+			}
+			c[j] = r.Lo + bias*r.Width()
+		}
+		c = space.Repair(c)
+		if sec := b.run(c); sec < bestSec {
+			bestSec = sec
+			best = c
+		}
+	}
+
+	// Stage 2 — ε-greedy RL over single-parameter actions.
+	var search SearchSpace = space
+	if g.Restrict != nil {
+		search = g.Restrict
+	}
+	cur := search.Encode(best)
+	curSec := bestSec
+	for step := 0; step < g.RLSteps; step++ {
+		var cand conf.Config
+		var candX []float64
+		if rng.Float64() < g.Epsilon {
+			cand = search.Random(rng) // explore
+			candX = search.Encode(cand)
+		} else {
+			// Exploit: nudge one random free dimension of the current state.
+			candX = append([]float64(nil), cur...)
+			j := rng.Intn(len(candX))
+			candX[j] += (rng.Float64() - 0.5) * 0.4
+			if candX[j] < 0 {
+				candX[j] = 0
+			}
+			if candX[j] > 1 {
+				candX[j] = 1
+			}
+			cand = search.Decode(candX)
+		}
+		sec := b.run(cand)
+		if sec < curSec {
+			cur, curSec = candX, sec
+		}
+		if sec < bestSec {
+			best, bestSec = cand, sec
+		}
+	}
+	return b.finish(best)
+}

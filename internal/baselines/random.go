@@ -1,0 +1,44 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+
+	"locat/internal/conf"
+	"locat/internal/sparksim"
+)
+
+// Random is pure random search — the sanity baseline every tuner must beat
+// per evaluation budget.
+type Random struct {
+	// Runs is the evaluation budget (default 60).
+	Runs int
+}
+
+// NewRandom returns a random-search baseline.
+func NewRandom(runs int) *Random {
+	if runs <= 0 {
+		runs = 60
+	}
+	return &Random{Runs: runs}
+}
+
+// Name implements Tuner.
+func (r *Random) Name() string { return "Random" }
+
+// Tune implements Tuner.
+func (r *Random) Tune(sim *sparksim.Simulator, app *sparksim.Application, targetGB float64, seed int64) (*Report, error) {
+	space := sim.Space()
+	rng := rand.New(rand.NewSource(seed))
+	b := &budgeted{sim: sim, app: app, gb: targetGB, rep: &Report{Tuner: r.Name()}}
+	var best conf.Config
+	bestSec := math.Inf(1)
+	for i := 0; i < r.Runs; i++ {
+		c := space.Random(rng)
+		if sec := b.run(c); sec < bestSec {
+			bestSec = sec
+			best = c
+		}
+	}
+	return b.finish(best)
+}

@@ -1,0 +1,110 @@
+package baselines
+
+import (
+	"math"
+	"sort"
+
+	"locat/internal/bo"
+	"locat/internal/conf"
+	"locat/internal/sparksim"
+)
+
+// Tuneful reproduces the Tuneful tuner: a one-at-a-time (OAT) significance
+// analysis probes each parameter's low and high extreme from the default
+// configuration (2×38 = 76 runs), the most influential parameters form the
+// search subspace, and GP-based Bayesian optimization tunes that subspace.
+// The paper notes OAT "is not suitable for high-dimensional configuration
+// scenarios because the number of iterations of OAT increases rapidly" —
+// the cost shows up directly as the 76-run significance phase plus a long
+// BO tail over the full application.
+type Tuneful struct {
+	// TopK is the influential-subspace size (default 10).
+	TopK int
+	// BOIter is the Bayesian-optimization budget after OAT (default 200).
+	BOIter int
+	// Restrict, when non-nil, replaces the OAT phase entirely: BO runs over
+	// the given subspace (the Figure 21 IICP hybrid).
+	Restrict SearchSpace
+}
+
+// NewTuneful returns Tuneful with its published-shape defaults.
+func NewTuneful() *Tuneful { return &Tuneful{TopK: 10, BOIter: 200} }
+
+// Name implements Tuner.
+func (t *Tuneful) Name() string { return "Tuneful" }
+
+// Tune implements Tuner.
+func (t *Tuneful) Tune(sim *sparksim.Simulator, app *sparksim.Application, targetGB float64, seed int64) (*Report, error) {
+	space := sim.Space()
+	b := &budgeted{sim: sim, app: app, gb: targetGB, rep: &Report{Tuner: t.Name()}}
+	def := space.Default()
+
+	var search SearchSpace
+	if t.Restrict != nil {
+		search = t.Restrict
+	} else {
+		search = t.oatSubspace(space, def, b)
+	}
+
+	// GP-BO over the influential subspace, full application per sample.
+	var best conf.Config
+	res := bo.Minimize(bo.Problem{
+		Dim: search.Dim(),
+		Eval: func(x, ctx []float64) float64 {
+			c := search.Decode(x)
+			return b.run(c)
+		},
+	}, bo.Options{
+		InitPoints:     5,
+		MinIter:        t.BOIter / 2,
+		MaxIter:        t.BOIter,
+		EIStopFrac:     0.05,
+		MCMCSamples:    3,
+		Candidates:     300,
+		Seed:           seed,
+		MaxModelPoints: 90,
+		HyperEvery:     4,
+	})
+	best = search.Decode(res.BestX)
+	return b.finish(best)
+}
+
+// oatSubspace runs the one-at-a-time significance analysis and returns the
+// influential-parameter subspace.
+func (t *Tuneful) oatSubspace(space *conf.Space, def conf.Config, b *budgeted) SearchSpace {
+	// OAT significance analysis: perturb one parameter at a time to its
+	// range extremes and score the latency swing.
+	type influence struct {
+		idx   int
+		swing float64
+	}
+	infl := make([]influence, 0, space.Dim())
+	base := b.run(def)
+	for j := 0; j < space.Dim(); j++ {
+		r := space.RangeOf(j)
+		lo := def.Clone()
+		lo[j] = r.Lo
+		hi := def.Clone()
+		hi[j] = r.Hi
+		tLo := b.run(space.Repair(lo))
+		tHi := b.run(space.Repair(hi))
+		swing := math.Abs(tHi-tLo) + math.Abs((tHi+tLo)/2-base)
+		infl = append(infl, influence{idx: j, swing: swing})
+	}
+	sort.Slice(infl, func(a, c int) bool { return infl[a].swing > infl[c].swing })
+	k := t.TopK
+	if k > len(infl) {
+		k = len(infl)
+	}
+	idx := make([]int, k)
+	for i := 0; i < k; i++ {
+		idx[i] = infl[i].idx
+	}
+
+	sub, err := conf.NewSubspace(space, def, idx)
+	if err != nil {
+		// Unreachable with a non-empty index list; fall back to the space.
+		return space
+	}
+	return sub
+}

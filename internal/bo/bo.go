@@ -1,0 +1,312 @@
+// Package bo implements the Bayesian-optimization loop LOCAT and its
+// GP-based baselines run: Latin-Hypercube warm start, an Expected
+// Improvement acquisition with MCMC hyperparameter marginalization (EI-MCMC,
+// Snoek et al. 2012), and the CherryPick-style stop condition the paper
+// adopts (at least MinIter iterations and EI below a fraction of the
+// current best; Section 3.4, "Stop condition").
+//
+// The optimizer works on the unit cube [0,1]^Dim; callers map points to
+// configurations (conf.Space / conf.Subspace handle that). An optional
+// context vector can be appended to every model input — LOCAT's DAGP passes
+// the input data size this way, so observations taken at different data
+// sizes share one surrogate (Section 3.4).
+package bo
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"locat/internal/gp"
+	"locat/internal/stat"
+)
+
+// Step is one evaluated sample: decision point, optional context, observed
+// objective, and the acquisition value that selected it (0 for warm-start
+// points).
+type Step struct {
+	X   []float64
+	Ctx []float64
+	Y   float64
+	EI  float64
+}
+
+// Problem defines the objective to minimize.
+type Problem struct {
+	// Dim is the decision dimensionality (unit cube).
+	Dim int
+	// Eval evaluates the objective at x under the given context.
+	Eval func(x, ctx []float64) float64
+	// Context, if non-nil, returns the context vector for iteration it
+	// (0-based, counting every evaluation including warm start). LOCAT's
+	// DAGP supplies the current input data size here. The returned slice
+	// must have a fixed length across iterations.
+	Context func(it int) []float64
+}
+
+// Options control the optimization loop.
+type Options struct {
+	// InitPoints is the number of LHS warm-start evaluations (paper: 3).
+	InitPoints int
+	// MinIter is the minimum number of iterations before the stop condition
+	// may fire (paper: 10).
+	MinIter int
+	// MaxIter caps total evaluations (warm start included).
+	MaxIter int
+	// EIStopFrac stops the loop when max EI < EIStopFrac × |best|
+	// (paper: 0.10).
+	EIStopFrac float64
+	// MCMCSamples is the number of GP hyperparameter posterior samples
+	// marginalized by EI-MCMC. 1 uses a single MAP-ish sample (plain EI).
+	MCMCSamples int
+	// Candidates is the size of the random candidate pool scored by EI.
+	Candidates int
+	// Init seeds the model with previously observed steps (warm restarts;
+	// LOCAT reuses full-application observations when it switches to the
+	// reduced-query application).
+	Init []Step
+	// Seed drives all randomness.
+	Seed int64
+	// MaxModelPoints caps the GP training-set size; when history exceeds
+	// it, the incumbent-best half and the most recent half are kept
+	// (0 = unlimited). Long-budget baselines use this to keep the cubic
+	// Cholesky cost bounded.
+	MaxModelPoints int
+	// HyperEvery re-samples GP hyperparameters only every k-th iteration,
+	// reusing the previous posterior samples in between (0 or 1 = every
+	// iteration).
+	HyperEvery int
+}
+
+// DefaultOptions mirror the paper's settings.
+func DefaultOptions() Options {
+	return Options{
+		InitPoints:  3,
+		MinIter:     10,
+		MaxIter:     60,
+		EIStopFrac:  0.10,
+		MCMCSamples: 6,
+		Candidates:  512,
+	}
+}
+
+// Result is the outcome of an optimization run.
+type Result struct {
+	// BestX and BestY are the incumbent decision point and objective.
+	BestX []float64
+	BestY float64
+	// History holds every evaluation in order (including warm start and
+	// any Init steps provided, which appear first).
+	History []Step
+	// Evals is the number of objective evaluations performed by this run
+	// (excludes Init steps).
+	Evals int
+	// StoppedEarly reports whether the EI stop condition fired before
+	// MaxIter.
+	StoppedEarly bool
+}
+
+// Minimize runs Bayesian optimization on p and returns the best point found.
+func Minimize(p Problem, opts Options) Result {
+	if opts.InitPoints <= 0 {
+		opts.InitPoints = 3
+	}
+	if opts.MaxIter < opts.InitPoints {
+		opts.MaxIter = opts.InitPoints
+	}
+	if opts.Candidates <= 0 {
+		opts.Candidates = 512
+	}
+	if opts.MCMCSamples <= 0 {
+		opts.MCMCSamples = 1
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	var res Result
+	res.BestY = math.Inf(1)
+	res.History = append(res.History, opts.Init...)
+	for _, s := range opts.Init {
+		if s.Y < res.BestY {
+			res.BestY = s.Y
+			res.BestX = append([]float64(nil), s.X...)
+		}
+	}
+
+	ctxAt := func(it int) []float64 {
+		if p.Context == nil {
+			return nil
+		}
+		return p.Context(it)
+	}
+
+	record := func(x, ctx []float64, ei float64) {
+		y := p.Eval(x, ctx)
+		res.History = append(res.History, Step{X: x, Ctx: ctx, Y: y, EI: ei})
+		res.Evals++
+		if y < res.BestY {
+			res.BestY = y
+			res.BestX = append([]float64(nil), x...)
+		}
+	}
+
+	// Warm start: LHS over the decision cube.
+	for _, x := range stat.LatinHypercube(opts.InitPoints, p.Dim, rng) {
+		if res.Evals >= opts.MaxIter {
+			break
+		}
+		record(x, ctxAt(res.Evals), 0)
+	}
+
+	// BO iterations.
+	var hypers []gp.Hyper
+	iterSinceSample := 0
+	for res.Evals < opts.MaxIter {
+		xs, ys := modelData(trimHistory(res.History, opts.MaxModelPoints))
+		if hypers == nil || opts.HyperEvery <= 1 || iterSinceSample >= opts.HyperEvery {
+			hypers = gp.SampleHyper(xs, ys, opts.MCMCSamples, rng)
+			iterSinceSample = 0
+		}
+		iterSinceSample++
+		models := make([]*gp.GP, 0, len(hypers))
+		for _, h := range hypers {
+			if m, err := gp.Fit(xs, ys, h); err == nil {
+				models = append(models, m)
+			}
+		}
+		ctx := ctxAt(res.Evals)
+		var bestCand []float64
+		bestEI := math.Inf(-1)
+		if len(models) > 0 {
+			bestCand, bestEI = proposeEI(models, res, p.Dim, ctx, opts, rng)
+		}
+		if bestCand == nil {
+			// Model failure: fall back to random search for this step.
+			bestCand = randomPoint(p.Dim, rng)
+			bestEI = 0
+		}
+		// Stop condition (paper Section 3.4): at least MinIter iterations
+		// and expected improvement below EIStopFrac of the incumbent.
+		if res.Evals >= opts.MinIter && opts.EIStopFrac > 0 &&
+			bestEI < opts.EIStopFrac*math.Abs(res.BestY) {
+			res.StoppedEarly = true
+			break
+		}
+		record(bestCand, ctx, bestEI)
+	}
+	return res
+}
+
+// trimHistory bounds the GP training set: the best half (by objective) plus
+// the most recent half of the history survive.
+func trimHistory(hist []Step, cap int) []Step {
+	if cap <= 0 || len(hist) <= cap {
+		return hist
+	}
+	half := cap / 2
+	idx := make([]int, len(hist))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return hist[idx[a]].Y < hist[idx[b]].Y })
+	keep := make(map[int]bool, cap)
+	for i := 0; i < half; i++ {
+		keep[idx[i]] = true
+	}
+	for i := len(hist) - 1; i >= 0 && len(keep) < cap; i-- {
+		keep[i] = true
+	}
+	out := make([]Step, 0, len(keep))
+	for i := range hist {
+		if keep[i] {
+			out = append(out, hist[i])
+		}
+	}
+	return out
+}
+
+// modelData assembles GP training data from history: inputs are decision
+// points with context appended.
+func modelData(hist []Step) (xs [][]float64, ys []float64) {
+	for _, s := range hist {
+		x := make([]float64, 0, len(s.X)+len(s.Ctx))
+		x = append(x, s.X...)
+		x = append(x, s.Ctx...)
+		xs = append(xs, x)
+		ys = append(ys, s.Y)
+	}
+	return xs, ys
+}
+
+// proposeEI scores a candidate pool by EI averaged over the hyperparameter
+// posterior samples (EI-MCMC) and returns the best candidate and its EI.
+func proposeEI(models []*gp.GP, res Result, dim int, ctx []float64, opts Options, rng *rand.Rand) ([]float64, float64) {
+	cands := make([][]float64, 0, opts.Candidates+64)
+	for i := 0; i < opts.Candidates; i++ {
+		cands = append(cands, randomPoint(dim, rng))
+	}
+	// Local refinement around the incumbent.
+	if res.BestX != nil {
+		for i := 0; i < 64; i++ {
+			x := make([]float64, dim)
+			scale := 0.05
+			if i%2 == 1 {
+				scale = 0.15
+			}
+			for j := range x {
+				x[j] = clamp01(res.BestX[j] + rng.NormFloat64()*scale)
+			}
+			cands = append(cands, x)
+		}
+	}
+
+	var bestX []float64
+	bestEI := math.Inf(-1)
+	xin := make([]float64, dim+len(ctx))
+	for _, c := range cands {
+		copy(xin, c)
+		copy(xin[dim:], ctx)
+		ei := 0.0
+		for _, m := range models {
+			ei += expectedImprovement(m, xin, res.BestY)
+		}
+		ei /= float64(len(models))
+		if ei > bestEI {
+			bestEI = ei
+			bestX = c
+		}
+	}
+	return append([]float64(nil), bestX...), bestEI
+}
+
+// expectedImprovement is EI(x) = (f* - μ)Φ(z) + σφ(z), z = (f* - μ)/σ, for
+// minimization.
+func expectedImprovement(m *gp.GP, x []float64, best float64) float64 {
+	mu, v := m.Predict(x)
+	sigma := math.Sqrt(v)
+	if sigma < 1e-12 {
+		if mu < best {
+			return best - mu
+		}
+		return 0
+	}
+	z := (best - mu) / sigma
+	return (best-mu)*stat.NormCDF(z) + sigma*stat.NormPDF(z)
+}
+
+func randomPoint(dim int, rng *rand.Rand) []float64 {
+	x := make([]float64, dim)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	return x
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,213 @@
+package bo
+
+import (
+	"math"
+	"testing"
+)
+
+// sphere has its minimum 0 at the given center.
+func sphere(center []float64) func(x, ctx []float64) float64 {
+	return func(x, ctx []float64) float64 {
+		var s float64
+		for i := range x {
+			d := x[i] - center[i]
+			s += d * d
+		}
+		return s
+	}
+}
+
+func TestMinimizeSphere2D(t *testing.T) {
+	center := []float64{0.3, 0.7}
+	opts := DefaultOptions()
+	opts.MaxIter = 40
+	opts.EIStopFrac = 0 // run all iterations
+	opts.Seed = 1
+	res := Minimize(Problem{Dim: 2, Eval: sphere(center)}, opts)
+	if res.BestY > 0.01 {
+		t.Fatalf("BestY = %v; want < 0.01", res.BestY)
+	}
+	for i := range center {
+		if math.Abs(res.BestX[i]-center[i]) > 0.15 {
+			t.Fatalf("BestX = %v; want ≈ %v", res.BestX, center)
+		}
+	}
+	if res.Evals != 40 || len(res.History) != 40 {
+		t.Fatalf("Evals = %d, history %d; want 40", res.Evals, len(res.History))
+	}
+}
+
+func TestBeatsRandomSearch(t *testing.T) {
+	// With the same evaluation budget, BO must beat pure random sampling on
+	// a smooth function (compare against the best of the warm-start pool
+	// enlarged to the full budget).
+	center := []float64{0.52, 0.18, 0.85}
+	obj := sphere(center)
+	opts := DefaultOptions()
+	opts.MaxIter = 30
+	opts.EIStopFrac = 0
+	opts.Seed = 2
+	res := Minimize(Problem{Dim: 3, Eval: obj}, opts)
+
+	randOpts := opts
+	randOpts.InitPoints = 30 // LHS-only ⇒ no model-guided steps
+	randRes := Minimize(Problem{Dim: 3, Eval: obj}, randOpts)
+	if res.BestY >= randRes.BestY {
+		t.Fatalf("BO (%v) did not beat random (%v)", res.BestY, randRes.BestY)
+	}
+}
+
+func TestStopCondition(t *testing.T) {
+	// A flat-ish objective should trigger the EI stop quickly after MinIter.
+	obj := func(x, ctx []float64) float64 { return 100 + x[0]*0.001 }
+	opts := DefaultOptions()
+	opts.MaxIter = 50
+	opts.MinIter = 10
+	opts.EIStopFrac = 0.10
+	opts.Seed = 3
+	res := Minimize(Problem{Dim: 2, Eval: obj}, opts)
+	if !res.StoppedEarly {
+		t.Fatal("stop condition never fired on flat objective")
+	}
+	if res.Evals < opts.MinIter {
+		t.Fatalf("stopped before MinIter: %d", res.Evals)
+	}
+	if res.Evals >= opts.MaxIter {
+		t.Fatal("ran to MaxIter despite flat objective")
+	}
+}
+
+func TestContextIsPassedAndModeled(t *testing.T) {
+	// Objective depends on context; optimum of x is wherever ctx says.
+	ctxVal := 0.2
+	p := Problem{
+		Dim: 1,
+		Eval: func(x, ctx []float64) float64 {
+			if len(ctx) != 1 {
+				t.Fatalf("ctx = %v", ctx)
+			}
+			d := x[0] - ctx[0]
+			return d * d
+		},
+		Context: func(it int) []float64 { return []float64{ctxVal} },
+	}
+	opts := DefaultOptions()
+	opts.MaxIter = 25
+	opts.EIStopFrac = 0
+	opts.Seed = 4
+	res := Minimize(p, opts)
+	if math.Abs(res.BestX[0]-ctxVal) > 0.15 {
+		t.Fatalf("BestX = %v; want ≈ %v", res.BestX, ctxVal)
+	}
+	for _, s := range res.History {
+		if len(s.Ctx) != 1 || s.Ctx[0] != ctxVal {
+			t.Fatalf("history ctx = %v", s.Ctx)
+		}
+	}
+}
+
+func TestWarmStartInit(t *testing.T) {
+	// Seeding with a known good point should keep it as incumbent and skip
+	// re-evaluation.
+	obj := sphere([]float64{0.5})
+	init := []Step{{X: []float64{0.5}, Y: 0}}
+	opts := DefaultOptions()
+	opts.MaxIter = 5
+	opts.EIStopFrac = 0
+	opts.Seed = 5
+	opts.Init = init
+	res := Minimize(Problem{Dim: 1, Eval: obj}, opts)
+	if res.BestY != 0 {
+		t.Fatalf("BestY = %v; want 0 from init", res.BestY)
+	}
+	if res.Evals != 5 {
+		t.Fatalf("Evals = %d; want 5 fresh evaluations", res.Evals)
+	}
+	if len(res.History) != 6 {
+		t.Fatalf("history = %d; want init + 5", len(res.History))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	obj := sphere([]float64{0.4, 0.6})
+	opts := DefaultOptions()
+	opts.MaxIter = 15
+	opts.Seed = 6
+	a := Minimize(Problem{Dim: 2, Eval: obj}, opts)
+	b := Minimize(Problem{Dim: 2, Eval: obj}, opts)
+	if a.BestY != b.BestY || a.Evals != b.Evals {
+		t.Fatalf("runs diverged: %v/%d vs %v/%d", a.BestY, a.Evals, b.BestY, b.Evals)
+	}
+	for i := range a.History {
+		if a.History[i].Y != b.History[i].Y {
+			t.Fatalf("history diverged at %d", i)
+		}
+	}
+}
+
+func TestOptionDefaultsApplied(t *testing.T) {
+	// Zero options must not panic and must still evaluate something.
+	res := Minimize(Problem{Dim: 1, Eval: sphere([]float64{0.5})}, Options{MaxIter: 4, Seed: 7})
+	if res.Evals == 0 || res.BestX == nil {
+		t.Fatal("degenerate options produced no work")
+	}
+}
+
+func TestExpectedImprovementProperties(t *testing.T) {
+	// EI must be non-negative and larger for points predicted to be better.
+	obj := sphere([]float64{0.5})
+	opts := DefaultOptions()
+	opts.MaxIter = 12
+	opts.EIStopFrac = 0
+	opts.Seed = 8
+	res := Minimize(Problem{Dim: 1, Eval: obj}, opts)
+	for _, s := range res.History {
+		if s.EI < 0 {
+			t.Fatalf("negative EI %v", s.EI)
+		}
+	}
+}
+
+func TestTrimHistory(t *testing.T) {
+	var hist []Step
+	for i := 0; i < 20; i++ {
+		hist = append(hist, Step{X: []float64{float64(i)}, Y: float64(20 - i)})
+	}
+	out := trimHistory(hist, 10)
+	if len(out) != 10 {
+		t.Fatalf("trimmed to %d; want 10", len(out))
+	}
+	// The global best (Y=1, last element) must survive.
+	found := false
+	for _, s := range out {
+		if s.Y == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("best observation dropped by trim")
+	}
+	// No trim when under the cap.
+	if got := trimHistory(hist, 0); len(got) != len(hist) {
+		t.Fatal("cap 0 should disable trimming")
+	}
+	if got := trimHistory(hist, 50); len(got) != len(hist) {
+		t.Fatal("cap above length should not trim")
+	}
+}
+
+func TestMaxModelPointsAndHyperEvery(t *testing.T) {
+	// Long run with a capped model and lazy hyperparameter refresh must
+	// still optimize.
+	obj := sphere([]float64{0.6, 0.4})
+	opts := DefaultOptions()
+	opts.MaxIter = 30
+	opts.EIStopFrac = 0
+	opts.Seed = 9
+	opts.MaxModelPoints = 12
+	opts.HyperEvery = 5
+	res := Minimize(Problem{Dim: 2, Eval: obj}, opts)
+	if res.BestY > 0.05 {
+		t.Fatalf("BestY = %v with capped model; want < 0.05", res.BestY)
+	}
+}

@@ -1,0 +1,372 @@
+// Package core implements the LOCAT tuner — the paper's primary
+// contribution (Section 3). It orchestrates the three techniques:
+//
+//  1. An initial Bayesian-optimization phase with the datasize-aware
+//     Gaussian process (DAGP) runs the full application N_QCSA = 30 times;
+//     these executions double as the QCSA and IICP sample sets ("we leverage
+//     the samples performed by the BO iterations", Section 5.1).
+//  2. QCSA classifies queries by latency CV and removes the
+//     configuration-insensitive ones, yielding the reduced query
+//     application (RQA) that all further sample collection runs.
+//  3. IICP (Spearman CPS + Gaussian-kernel KPCA CPE) selects the important
+//     configuration parameters; Bayesian optimization continues over that
+//     subspace only, warm-started with the phase-1 observations, until the
+//     CherryPick-style stop condition fires (≥10 iterations and EI < 10%).
+//
+// All three techniques can be disabled independently for the paper's
+// ablations (Figures 15 and 21).
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"locat/internal/bo"
+	"locat/internal/conf"
+	"locat/internal/dagp"
+	"locat/internal/iicp"
+	"locat/internal/qcsa"
+	"locat/internal/sparksim"
+)
+
+// Options configure the LOCAT tuner.
+type Options struct {
+	// NQCSA is the number of full-application sample runs used for QCSA
+	// (paper: 30, Section 5.1). These are also the phase-1 BO iterations.
+	NQCSA int
+	// NIICP is the number of those samples used for IICP (paper: 20,
+	// Section 5.3).
+	NIICP int
+	// SCCCutoff is the CPS Spearman threshold (paper: 0.2).
+	SCCCutoff float64
+	// MinIter, MaxIter and EIStopFrac control the phase-2 BO loop
+	// (paper: ≥10 iterations, EI < 10%).
+	MinIter    int
+	MaxIter    int
+	EIStopFrac float64
+	// MCMCSamples is the EI-MCMC hyperparameter sample count.
+	MCMCSamples int
+	// UseQCSA, UseIICP and UseDAGP toggle the three techniques
+	// (all true under DefaultOptions; the ablations of Figures 15/21
+	// disable them selectively).
+	UseQCSA bool
+	UseIICP bool
+	UseDAGP bool
+	// DataSchedule, if non-nil, returns the input data size (GB) of the
+	// i-th tuning run — the paper's online scenario where the size changes
+	// over time. Nil runs everything at the Tune target size.
+	DataSchedule func(run int) float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultOptions mirror the paper's settings.
+func DefaultOptions() Options {
+	return Options{
+		NQCSA:       30,
+		NIICP:       20,
+		SCCCutoff:   0.2,
+		MinIter:     10,
+		MaxIter:     60,
+		EIStopFrac:  0.10,
+		MCMCSamples: 5,
+		UseQCSA:     true,
+		UseIICP:     true,
+		UseDAGP:     true,
+	}
+}
+
+// Eval records one tuning run.
+type Eval struct {
+	// Conf is the configuration executed.
+	Conf conf.Config
+	// DataGB is the input size of the run.
+	DataGB float64
+	// Sec is the observed latency of whatever was run (full app in phase 1,
+	// RQA in phase 2).
+	Sec float64
+	// FullApp distinguishes phase-1 full-application runs from RQA runs.
+	FullApp bool
+}
+
+// Report is the outcome of a Tune call.
+type Report struct {
+	// Best is the chosen configuration.
+	Best conf.Config
+	// TunedSec is the noiseless full-application latency under Best at the
+	// target size — the quantity the paper's speedup figures compare.
+	TunedSec float64
+	// OverheadSec is the total simulated cluster time consumed while
+	// tuning — the paper's "optimization time".
+	OverheadSec float64
+	// FullRuns and RQARuns count the tuning executions by kind.
+	FullRuns, RQARuns int
+	// QCSA and IICP hold the analysis artifacts (nil when disabled).
+	QCSA *qcsa.Result
+	IICP *iicp.Result
+	// History records every tuning run in order.
+	History []Eval
+}
+
+// Evaluations returns the total number of tuning runs.
+func (r *Report) Evaluations() int { return r.FullRuns + r.RQARuns }
+
+// Tuner tunes one application on one simulated cluster.
+type Tuner struct {
+	sim  *sparksim.Simulator
+	app  *sparksim.Application
+	opts Options
+}
+
+// New returns a LOCAT tuner for the application on the simulator's cluster.
+func New(sim *sparksim.Simulator, app *sparksim.Application, opts Options) *Tuner {
+	if opts.NQCSA <= 0 {
+		opts.NQCSA = 30
+	}
+	if opts.NIICP <= 0 || opts.NIICP > opts.NQCSA {
+		opts.NIICP = min(20, opts.NQCSA)
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 40
+	}
+	if opts.MinIter <= 0 {
+		opts.MinIter = 10
+	}
+	if opts.MCMCSamples <= 0 {
+		opts.MCMCSamples = 5
+	}
+	return &Tuner{sim: sim, app: app, opts: opts}
+}
+
+// Tune searches for the configuration minimizing the application latency at
+// targetGB and reports the outcome.
+func (t *Tuner) Tune(targetGB float64) (*Report, error) {
+	if targetGB <= 0 {
+		return nil, errors.New("core: target data size must be positive")
+	}
+	space := t.sim.Space()
+	rep := &Report{}
+	sizeOf := func(run int) float64 {
+		if t.opts.DataSchedule != nil {
+			return t.opts.DataSchedule(run)
+		}
+		return targetGB
+	}
+	ctxOf := func(run int) []float64 {
+		if !t.opts.UseDAGP {
+			return nil
+		}
+		return dagp.Ctx(sizeOf(run))
+	}
+
+	// ---- Phase 1: full-application BO with DAGP (sample collection). ----
+	var phase1Runs []sparksim.AppResult
+	var samples []iicp.Sample
+	p1 := bo.Problem{
+		Dim: space.Dim(),
+		Eval: func(x, ctx []float64) float64 {
+			c := space.Decode(x)
+			ds := sizeOf(rep.Evaluations())
+			run := t.sim.RunApp(t.app, c, ds)
+			rep.OverheadSec += run.Sec
+			rep.FullRuns++
+			rep.History = append(rep.History, Eval{Conf: c, DataGB: ds, Sec: run.Sec, FullApp: true})
+			phase1Runs = append(phase1Runs, run)
+			samples = append(samples, iicp.Sample{Conf: c, Sec: run.Sec})
+			return run.Sec
+		},
+		Context: func(it int) []float64 { return ctxOf(rep.Evaluations()) },
+	}
+	// A third of the sample-collection budget goes to space-filling LHS so
+	// the QCSA/IICP statistics see uncorrelated coverage; the rest is
+	// EI-guided ("BO with DAGP", Figure 4) and begins improving the
+	// incumbent early.
+	p1res := bo.Minimize(p1, bo.Options{
+		InitPoints:  t.opts.NQCSA / 3,
+		MinIter:     t.opts.NQCSA, // phase 1 always collects the full sample set
+		MaxIter:     t.opts.NQCSA,
+		EIStopFrac:  0, // no early stop while collecting samples
+		MCMCSamples: t.opts.MCMCSamples,
+		Candidates:  400,
+		Seed:        t.opts.Seed,
+	})
+
+	// ---- QCSA: build the reduced query application. ----
+	target := t.app
+	keepAll := map[string]bool{}
+	for _, q := range t.app.Queries {
+		keepAll[q.Name] = true
+	}
+	keep := keepAll
+	if t.opts.UseQCSA {
+		qres, err := qcsa.Analyze(t.app, phase1Runs)
+		if err != nil {
+			return nil, err
+		}
+		rep.QCSA = qres
+		target = qres.RQA
+		keep = map[string]bool{}
+		for _, n := range qres.Sensitive {
+			keep[n] = true
+		}
+	}
+	rqaSec := func(run sparksim.AppResult) float64 {
+		var s float64
+		for _, qr := range run.Queries {
+			if keep[qr.Name] {
+				s += qr.Sec
+			}
+		}
+		return s
+	}
+
+	// ---- IICP: restrict the search space to important parameters. ----
+	// The phase-2 base (which pins every non-important parameter) is chosen
+	// by DAGP posterior mean over the phase-1 observations rather than by
+	// the noisy observed minimum.
+	bestPhase1 := space.Decode(t.bestOfHistory(p1res, targetGB))
+	tuneIdx := allIndices(space.Dim())
+	if t.opts.UseIICP {
+		iopts := iicp.DefaultOptions()
+		iopts.SCCCutoff = t.opts.SCCCutoff
+		ires, err := iicp.Analyze(space, samples[:min(t.opts.NIICP, len(samples))], iopts)
+		if err != nil {
+			return nil, err
+		}
+		rep.IICP = ires
+		if len(ires.Important) > 0 {
+			tuneIdx = ires.Important
+		}
+	}
+	sub, err := conf.NewSubspace(space, bestPhase1, tuneIdx)
+	if err != nil {
+		return nil, err
+	}
+
+	// Warm-start phase 2 with phase-1 observations re-expressed on the RQA
+	// scale (per-query latencies were recorded, so the RQA portion of every
+	// phase-1 run is known exactly).
+	var init []bo.Step
+	for i, run := range phase1Runs {
+		init = append(init, bo.Step{
+			X:   sub.Encode(rep.History[i].Conf),
+			Ctx: ctxOf(i),
+			Y:   rqaSec(run),
+		})
+	}
+
+	// ---- Phase 2: BO over the important-parameter subspace on the RQA. ----
+	p2 := bo.Problem{
+		Dim: sub.Dim(),
+		Eval: func(x, ctx []float64) float64 {
+			c := sub.Decode(x)
+			ds := sizeOf(rep.Evaluations())
+			run := t.sim.RunApp(target, c, ds)
+			rep.OverheadSec += run.Sec
+			if t.opts.UseQCSA {
+				rep.RQARuns++
+			} else {
+				rep.FullRuns++
+			}
+			rep.History = append(rep.History, Eval{Conf: c, DataGB: ds, Sec: run.Sec, FullApp: !t.opts.UseQCSA})
+			return run.Sec
+		},
+		Context: func(it int) []float64 { return ctxOf(rep.Evaluations()) },
+	}
+	p2res := bo.Minimize(p2, bo.Options{
+		InitPoints:  3,
+		MinIter:     t.opts.MinIter,
+		MaxIter:     t.opts.MaxIter,
+		EIStopFrac:  t.opts.EIStopFrac,
+		MCMCSamples: t.opts.MCMCSamples,
+		Candidates:  800,
+		Init:        init,
+		Seed:        t.opts.Seed + 1,
+	})
+
+	// ---- Final selection. ----
+	rep.Best = t.pickBest(space, sub, p2res, targetGB)
+	rep.TunedSec = t.sim.NoiselessAppTime(t.app, rep.Best, targetGB)
+	return rep, nil
+}
+
+// pickBest chooses the final configuration. Without DAGP the best observed
+// RQA point wins; with DAGP the surrogate's posterior mean at the target
+// size ranks every evaluated point, which both de-noises the selection
+// (single runs are noisy; the GP pools information across neighbours) and
+// transfers observations taken at other data sizes to the target size
+// (Section 3.4's online adaptation).
+func (t *Tuner) pickBest(space *conf.Space, sub *conf.Subspace, res bo.Result, targetGB float64) conf.Config {
+	if !t.opts.UseDAGP {
+		return sub.Decode(res.BestX)
+	}
+	rng := rand.New(rand.NewSource(t.opts.Seed + 2))
+	var ds []dagp.Sample
+	for _, s := range res.History {
+		size := targetGB
+		if len(s.Ctx) > 0 {
+			size = s.Ctx[0] * dagp.ScaleGB
+		}
+		ds = append(ds, dagp.Sample{X: s.X, DataGB: size, Sec: s.Y})
+	}
+	model, err := dagp.Fit(ds, rng)
+	if err != nil {
+		return sub.Decode(res.BestX)
+	}
+	bestX := res.BestX
+	bestPred := math.Inf(1)
+	for _, s := range res.History {
+		if m, _ := model.Predict(s.X, targetGB); m < bestPred {
+			bestPred = m
+			bestX = s.X
+		}
+	}
+	return sub.Decode(bestX)
+}
+
+// bestOfHistory returns the decision point of res with the lowest DAGP
+// posterior mean at targetGB (falling back to the observed best when the
+// model cannot be fitted or DAGP is disabled).
+func (t *Tuner) bestOfHistory(res bo.Result, targetGB float64) []float64 {
+	if !t.opts.UseDAGP {
+		return res.BestX
+	}
+	rng := rand.New(rand.NewSource(t.opts.Seed + 3))
+	var ds []dagp.Sample
+	for _, s := range res.History {
+		size := targetGB
+		if len(s.Ctx) > 0 {
+			size = s.Ctx[0] * dagp.ScaleGB
+		}
+		ds = append(ds, dagp.Sample{X: s.X, DataGB: size, Sec: s.Y})
+	}
+	model, err := dagp.Fit(ds, rng)
+	if err != nil {
+		return res.BestX
+	}
+	bestX := res.BestX
+	bestPred := math.Inf(1)
+	for _, s := range res.History {
+		if m, _ := model.Predict(s.X, targetGB); m < bestPred {
+			bestPred = m
+			bestX = s.X
+		}
+	}
+	return bestX
+}
+
+func allIndices(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,86 @@
+// Package dagp implements the Datasize-Aware Gaussian Process — the third of
+// LOCAT's three techniques (paper Section 3.4). The execution time of an
+// application is modeled as t = f(conf, ds) (equation 7): a GP over the
+// encoded configuration vector with the input data size appended as an extra
+// feature. Observations taken at different data sizes therefore train one
+// shared surrogate, which is what lets LOCAT keep tuning online while the
+// input size changes instead of re-tuning from scratch (the CherryPick
+// limitation the paper calls out).
+package dagp
+
+import (
+	"errors"
+	"math/rand"
+
+	"locat/internal/gp"
+)
+
+// ScaleGB normalizes a data size in GB into the model's unit range.
+// 1 TB maps to 1.0, keeping the datasize feature commensurate with the
+// unit-cube configuration features.
+const ScaleGB = 1024.0
+
+// Ctx encodes a data size as the BO context vector appended to every model
+// input.
+func Ctx(dataGB float64) []float64 { return []float64{dataGB / ScaleGB} }
+
+// Sample is one observation for direct model fitting.
+type Sample struct {
+	// X is the encoded configuration (unit cube).
+	X []float64
+	// DataGB is the input data size of the run.
+	DataGB float64
+	// Sec is the observed latency.
+	Sec float64
+}
+
+// Model is a fitted datasize-aware GP usable for direct prediction —
+// the experiment harness uses it to pick the best evaluated configuration
+// for a target data size, and the ablations use it to quantify the value of
+// the datasize feature.
+type Model struct {
+	g *gp.GP
+}
+
+// Fit trains the DAGP on the samples, marginalizing hyperparameters by
+// picking the posterior sample with the highest marginal likelihood from a
+// short MCMC run.
+func Fit(samples []Sample, rng *rand.Rand) (*Model, error) {
+	if len(samples) < 2 {
+		return nil, errors.New("dagp: need at least 2 samples")
+	}
+	xs := make([][]float64, len(samples))
+	ys := make([]float64, len(samples))
+	for i, s := range samples {
+		x := make([]float64, 0, len(s.X)+1)
+		x = append(x, s.X...)
+		x = append(x, s.DataGB/ScaleGB)
+		xs[i] = x
+		ys[i] = s.Sec
+	}
+	hypers := gp.SampleHyper(xs, ys, 5, rng)
+	var best *gp.GP
+	bestML := 0.0
+	for _, h := range hypers {
+		m, err := gp.Fit(xs, ys, h)
+		if err != nil {
+			continue
+		}
+		if ml := m.LogMarginalLikelihood(); best == nil || ml > bestML {
+			best, bestML = m, ml
+		}
+	}
+	if best == nil {
+		return nil, errors.New("dagp: no usable hyperparameter sample")
+	}
+	return &Model{g: best}, nil
+}
+
+// Predict returns the posterior mean and variance of the latency of the
+// encoded configuration x at the given data size (equation 10).
+func (m *Model) Predict(x []float64, dataGB float64) (mean, variance float64) {
+	in := make([]float64, 0, len(x)+1)
+	in = append(in, x...)
+	in = append(in, dataGB/ScaleGB)
+	return m.g.Predict(in)
+}

@@ -1,0 +1,80 @@
+package dagp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCtx(t *testing.T) {
+	c := Ctx(512)
+	if len(c) != 1 || math.Abs(c[0]-0.5) > 1e-12 {
+		t.Fatalf("Ctx(512) = %v", c)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Fit(nil, rng); err == nil {
+		t.Fatal("empty sample set accepted")
+	}
+	if _, err := Fit([]Sample{{X: []float64{0}, DataGB: 100, Sec: 1}}, rng); err == nil {
+		t.Fatal("single sample accepted")
+	}
+}
+
+// TestDataSizeAwareness is the DAGP selling point: a model trained on mixed
+// data sizes predicts that the same configuration runs longer on more data,
+// without any observation at the queried size.
+func TestDataSizeAwareness(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	truth := func(x float64, gb float64) float64 {
+		// Latency grows with data size and has a config optimum at x=0.6.
+		return gb / 100 * (1 + 4*(x-0.6)*(x-0.6))
+	}
+	var samples []Sample
+	for i := 0; i < 40; i++ {
+		x := rng.Float64()
+		gb := []float64{100, 200, 400}[rng.Intn(3)]
+		samples = append(samples, Sample{X: []float64{x}, DataGB: gb, Sec: truth(x, gb)})
+	}
+	m, err := Fit(samples, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interpolated size 300 GB was never observed.
+	lo, _ := m.Predict([]float64{0.6}, 100)
+	mid, _ := m.Predict([]float64{0.6}, 300)
+	hi, _ := m.Predict([]float64{0.6}, 400)
+	if !(lo < mid && mid < hi) {
+		t.Fatalf("latency not increasing in data size: %v, %v, %v", lo, mid, hi)
+	}
+	// The config optimum must be recognizable at the unseen size.
+	good, _ := m.Predict([]float64{0.6}, 300)
+	bad, _ := m.Predict([]float64{0.05}, 300)
+	if good >= bad {
+		t.Fatalf("optimum not transferred across sizes: good %v, bad %v", good, bad)
+	}
+}
+
+func TestPredictVarianceNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var samples []Sample
+	for i := 0; i < 12; i++ {
+		samples = append(samples, Sample{
+			X:      []float64{rng.Float64(), rng.Float64()},
+			DataGB: 100 + rng.Float64()*400,
+			Sec:    10 + rng.Float64()*5,
+		})
+	}
+	m, err := Fit(samples, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		_, v := m.Predict([]float64{rng.Float64(), rng.Float64()}, 100+rng.Float64()*900)
+		if v < 0 || math.IsNaN(v) {
+			t.Fatalf("bad variance %v", v)
+		}
+	}
+}

@@ -1,0 +1,303 @@
+package experiments
+
+import (
+	"fmt"
+
+	"locat/internal/baselines"
+	"locat/internal/conf"
+	"locat/internal/core"
+	"locat/internal/iicp"
+	"locat/internal/qcsa"
+	"locat/internal/sparksim"
+	"locat/internal/workloads"
+)
+
+// Fig15APvsIP regenerates Figure 15: TPC-DS tuned by LOCAT with all 38
+// parameters (AP) versus with the IICP-selected important parameters (IP).
+// The paper finds IP ≈ 1.8× better on average — tuning unimportant
+// parameters wastes the search budget and counteracts the important ones.
+func Fig15APvsIP(s *Session) ([]Table, error) {
+	t := Table{
+		ID:     "fig15",
+		Title:  "TPC-DS duration (s) tuned with all parameters (AP) vs important parameters (IP), ARM",
+		Header: []string{"size(GB)", "AP", "IP", "IP gain (×)"},
+	}
+	cl := Cluster("arm")
+	app := workloads.TPCDS()
+	var ratios []float64
+	for _, gb := range s.sizes() {
+		opts := s.locatOptions()
+		opts.UseIICP = false
+		simAP := sparksim.New(cl, s.Seed)
+		ap, err := core.New(simAP, app, opts).Tune(gb)
+		if err != nil {
+			return nil, err
+		}
+		ip, err := s.Tune("arm", "TPC-DS", "LOCAT", gb)
+		if err != nil {
+			return nil, err
+		}
+		r := ap.TunedSec / ip.TunedSec
+		ratios = append(ratios, r)
+		t.Rows = append(t.Rows, []string{f0(gb), f0(ap.TunedSec), f0(ip.TunedSec), f2(r)})
+	}
+	t.Rows = append(t.Rows, []string{"Avg", "", "", f2(avg(ratios))})
+	return []Table{t}, nil
+}
+
+// tunedSplit runs the tuned configuration noiselessly and splits the
+// per-query latency into CSQ and CIQ shares using a canonical QCSA
+// classification, and reports the GC time.
+func (s *Session) tunedSplit(clusterName, benchName string, gb float64, best conf.Config,
+	classify *qcsa.Result) (csq, ciq, gc float64, err error) {
+	cl := Cluster(clusterName)
+	app, err := workloads.ByName(benchName)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	sens := map[string]bool{}
+	for _, n := range classify.Sensitive {
+		sens[n] = true
+	}
+	sim := sparksim.New(cl, s.Seed, sparksim.WithNoise(0))
+	res := sim.RunApp(app, best, gb)
+	for _, qr := range res.Queries {
+		if sens[qr.Name] {
+			csq += qr.Sec
+		} else {
+			ciq += qr.Sec
+		}
+	}
+	return csq, ciq, res.GCSec, nil
+}
+
+// Fig18CSQCIQ regenerates Figure 18: the execution time of the
+// configuration-sensitive (CSQ) and insensitive (CIQ) query groups of
+// TPC-DS under each tuner's final configuration, at 100–300 GB. The tuners'
+// gains come almost entirely from the CSQ share.
+func Fig18CSQCIQ(s *Session) ([]Table, error) {
+	sizes := []float64{100, 200, 300}
+	nq := 30
+	if s.Quick {
+		sizes = []float64{100}
+		nq = 12
+	}
+	classify, err := s.canonicalQCSA("arm", "TPC-DS", 100, nq)
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		ID:     "fig18",
+		Title:  "CSQ vs CIQ execution time (s) of tuned TPC-DS, ARM",
+		Header: []string{"size(GB)", "tuner", "CSQ", "CIQ", "total"},
+	}
+	for _, gb := range sizes {
+		for _, tn := range TunerNames {
+			o, err := s.Tune("arm", "TPC-DS", tn, gb)
+			if err != nil {
+				return nil, err
+			}
+			csq, ciq, _, err := s.tunedSplit("arm", "TPC-DS", gb, o.Best, classify)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{f0(gb), tn, f0(csq), f0(ciq), f0(csq + ciq)})
+		}
+	}
+	return []Table{t}, nil
+}
+
+// Fig19GCTime regenerates Figure 19: the JVM garbage-collection time of
+// TPC-DS and HiBench Join under each tuner's final configuration across the
+// input sizes. LOCAT's memory settings keep GC lowest and growing slowest.
+func Fig19GCTime(s *Session) ([]Table, error) {
+	benches := []string{"TPC-DS", "Join"}
+	nq := 30
+	if s.Quick {
+		benches = []string{"Join"}
+		nq = 12
+	}
+	var tables []Table
+	for _, bn := range benches {
+		classify, err := s.canonicalQCSA("arm", bn, 100, nq)
+		if err != nil {
+			return nil, err
+		}
+		t := Table{
+			ID:     "fig19",
+			Title:  fmt.Sprintf("JVM GC time (s) of tuned %s by input size, ARM", bn),
+			Header: append([]string{"tuner"}, sizesHeader(s.sizes())...),
+		}
+		for _, tn := range TunerNames {
+			row := []string{tn}
+			for _, gb := range s.sizes() {
+				o, err := s.Tune("arm", bn, tn, gb)
+				if err != nil {
+					return nil, err
+				}
+				_, _, gc, err := s.tunedSplit("arm", bn, gb, o.Best, classify)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, f1(gc))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+func sizesHeader(sizes []float64) []string {
+	out := make([]string, len(sizes))
+	for i, gb := range sizes {
+		out[i] = fmt.Sprintf("%.0fGB", gb)
+	}
+	return out
+}
+
+// Fig21Hybrid regenerates Figure 21: QCSA and IICP grafted onto the SOTA
+// tuners (and onto plain DAGP-BO). Four modes per tuner: APT (all-parameter
+// tuning of the full application), IICP only, QCSA only, and QIT (both).
+// Reported: the tuned duration and the optimization overhead.
+func Fig21Hybrid(s *Session) ([]Table, error) {
+	gb := 500.0
+	prepN := 30
+	if s.Quick {
+		gb = 100
+		prepN = 12
+	}
+	cl := Cluster("arm")
+	app := workloads.TPCDS()
+	space := cl.Space()
+
+	// Preparation artifacts, shared by all hybrids: the QCSA classification
+	// and the IICP important-parameter subspace. Their collection cost
+	// (prepN full-application runs under random configurations) is charged
+	// to every mode that uses them.
+	runs, err := s.randomRuns("arm", "TPC-DS", gb, prepN)
+	if err != nil {
+		return nil, err
+	}
+	var prepCost float64
+	for _, r := range runs {
+		prepCost += r.Sec
+	}
+	qres, err := qcsa.Analyze(app, runs)
+	if err != nil {
+		return nil, err
+	}
+	var samples []iicp.Sample
+	// Re-derive the sampled configurations for IICP from a fresh pass (the
+	// same seed draws the same configurations as randomRuns).
+	rng := newRng(s.Seed + 11)
+	for i := 0; i < prepN; i++ {
+		c := space.Random(rng)
+		samples = append(samples, iicp.Sample{Conf: c, Sec: runs[i].Sec})
+	}
+	ires, err := iicp.Analyze(space, samples, iicp.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	sub, err := conf.NewSubspace(space, space.Default(), ires.Important)
+	if err != nil {
+		return nil, err
+	}
+
+	duration := Table{
+		ID:     "fig21",
+		Title:  fmt.Sprintf("Tuned TPC-DS duration (s) at %.0f GB with QCSA/IICP grafted onto each tuner", gb),
+		Header: []string{"tuner", "APT", "IICP", "QCSA", "QIT"},
+	}
+	overhead := Table{
+		ID:     "fig21-overhead",
+		Title:  "Optimization overhead (h) with QCSA/IICP grafted onto each tuner",
+		Header: []string{"tuner", "APT", "IICP", "QCSA", "QIT"},
+	}
+
+	type mode struct {
+		name     string
+		restrict bool
+		rqa      bool
+	}
+	modes := []mode{
+		{"APT", false, false},
+		{"IICP", true, false},
+		{"QCSA", false, true},
+		{"QIT", true, true},
+	}
+	for _, tn := range TunerNames {
+		drow := []string{tn}
+		orow := []string{tn}
+		for _, m := range modes {
+			tuned, over, err := s.runHybrid(cl, app, qres, sub, tn, gb, m.restrict, m.rqa)
+			if err != nil {
+				return nil, err
+			}
+			if m.restrict || m.rqa {
+				over += prepCost
+			}
+			drow = append(drow, f0(tuned))
+			orow = append(orow, hours(over))
+		}
+		duration.Rows = append(duration.Rows, drow)
+		overhead.Rows = append(overhead.Rows, orow)
+	}
+	return []Table{duration, overhead}, nil
+}
+
+// runHybrid runs one tuner in one hybrid mode and returns the tuned
+// full-application latency and the tuner's own optimization overhead.
+func (s *Session) runHybrid(cl *sparksim.Cluster, app *sparksim.Application,
+	qres *qcsa.Result, sub *conf.Subspace, tuner string, gb float64,
+	restrict, rqa bool) (tuned, overhead float64, err error) {
+
+	target := app
+	if rqa {
+		target = qres.RQA
+	}
+	sim := sparksim.New(cl, s.Seed)
+
+	if tuner == "LOCAT" {
+		// "DAGP" in the paper's Figure 21: BO with the datasize-aware GP,
+		// with QCSA/IICP applied per mode via the tuner's switches.
+		opts := s.locatOptions()
+		opts.UseQCSA = rqa
+		opts.UseIICP = restrict
+		rep, err := core.New(sim, app, opts).Tune(gb)
+		if err != nil {
+			return 0, 0, err
+		}
+		return rep.TunedSec, rep.OverheadSec, nil
+	}
+
+	var bt baselines.Tuner
+	for _, t := range s.baselineTuners() {
+		if t.Name() == tuner {
+			bt = t
+			break
+		}
+	}
+	if bt == nil {
+		return 0, 0, fmt.Errorf("experiments: unknown tuner %q", tuner)
+	}
+	if restrict {
+		switch b := bt.(type) {
+		case *baselines.Tuneful:
+			b.Restrict = sub
+		case *baselines.DAC:
+			b.Restrict = sub
+		case *baselines.GBORL:
+			b.Restrict = sub
+		case *baselines.QTune:
+			b.Restrict = sub
+		}
+	}
+	rep, err := bt.Tune(sim, target, gb, s.Seed+7)
+	if err != nil {
+		return 0, 0, err
+	}
+	// The hybrid's final configuration is evaluated on the full application.
+	full := sparksim.New(cl, s.Seed, sparksim.WithNoise(0))
+	return full.NoiselessAppTime(app, rep.Best, gb), rep.OverheadSec, nil
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import "fmt"
+
+// Fig2Motivation regenerates Figure 2: hours the four SOTA approaches need
+// to find the optimal TPC-DS configuration at 100–500 GB (ARM cluster).
+func Fig2Motivation(s *Session) ([]Table, error) {
+	t := Table{
+		ID:     "fig2",
+		Title:  "Optimization overhead (h) of SOTA tuners, TPC-DS on ARM",
+		Header: []string{"size(GB)", "Tuneful", "DAC", "GBO-RL", "QTune"},
+	}
+	for _, gb := range s.sizes() {
+		row := []string{f0(gb)}
+		for _, tn := range TunerNames[1:] {
+			o, err := s.Tune("arm", "TPC-DS", tn, gb)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, hours(o.OverheadSec))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []Table{t}, nil
+}
+
+// optTimeReduction builds Figure 11/12: the factor by which LOCAT reduces
+// each SOTA tuner's optimization time, per benchmark, at 300 GB.
+func (s *Session) optTimeReduction(clusterName, id, title string) ([]Table, error) {
+	gb := 300.0
+	if s.Quick {
+		gb = 100
+	}
+	t := Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"benchmark", "Tuneful", "DAC", "GBO-RL", "QTune"},
+	}
+	sums := make([]float64, 4)
+	benches := s.benchNames()
+	for _, bn := range benches {
+		locat, err := s.Tune(clusterName, bn, "LOCAT", gb)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{bn}
+		for i, tn := range TunerNames[1:] {
+			o, err := s.Tune(clusterName, bn, tn, gb)
+			if err != nil {
+				return nil, err
+			}
+			r := o.OverheadSec / locat.OverheadSec
+			sums[i] += r
+			row = append(row, f1(r))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	avgRow := []string{"Average"}
+	for _, v := range sums {
+		avgRow = append(avgRow, f1(v/float64(len(benches))))
+	}
+	t.Rows = append(t.Rows, avgRow)
+	return []Table{t}, nil
+}
+
+// Fig11OptTimeARM regenerates Figure 11 (paper averages: Tuneful 6.4×,
+// DAC 7.0×, GBO-RL 4.1×, QTune 9.7×).
+func Fig11OptTimeARM(s *Session) ([]Table, error) {
+	return s.optTimeReduction("arm", "fig11",
+		"Optimization-time reduction over SOTA (×), four-node ARM cluster, 300 GB")
+}
+
+// Fig12OptTimeX86 regenerates Figure 12 (paper averages: 6.4/6.3/4.0/9.2×).
+func Fig12OptTimeX86(s *Session) ([]Table, error) {
+	return s.optTimeReduction("x86", "fig12",
+		"Optimization-time reduction over SOTA (×), eight-node x86 cluster, 300 GB")
+}
+
+// speedup builds Figure 13/14: the speedup of the LOCAT-tuned configuration
+// over each SOTA-tuned configuration for every program-input pair.
+func (s *Session) speedup(clusterName, id, title string) ([]Table, error) {
+	t := Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"benchmark", "size(GB)", "Tuneful", "DAC", "GBO-RL", "QTune"},
+	}
+	sums := make([]float64, 4)
+	var n int
+	for _, bn := range s.benchNames() {
+		for _, gb := range s.sizes() {
+			locat, err := s.Tune(clusterName, bn, "LOCAT", gb)
+			if err != nil {
+				return nil, err
+			}
+			row := []string{bn, f0(gb)}
+			for i, tn := range TunerNames[1:] {
+				o, err := s.Tune(clusterName, bn, tn, gb)
+				if err != nil {
+					return nil, err
+				}
+				sp := o.TunedSec / locat.TunedSec
+				sums[i] += sp
+				row = append(row, f2(sp))
+			}
+			t.Rows = append(t.Rows, row)
+			n++
+		}
+	}
+	avgRow := []string{"Average", ""}
+	for _, v := range sums {
+		avgRow = append(avgRow, f2(v/float64(n)))
+	}
+	t.Rows = append(t.Rows, avgRow)
+	return []Table{t}, nil
+}
+
+// Fig13SpeedupARM regenerates Figure 13 (paper averages: 2.4/2.2/2.0/1.9×).
+func Fig13SpeedupARM(s *Session) ([]Table, error) {
+	return s.speedup("arm", "fig13",
+		"Speedup of LOCAT-tuned over SOTA-tuned configurations, ARM cluster")
+}
+
+// Fig14SpeedupX86 regenerates Figure 14 (paper averages: 2.8/2.6/2.3/2.1×).
+func Fig14SpeedupX86(s *Session) ([]Table, error) {
+	return s.speedup("x86", "fig14",
+		"Speedup of LOCAT-tuned over SOTA-tuned configurations, x86 cluster")
+}
+
+// Fig20OverheadGrowth regenerates Figure 20: tuning overhead versus input
+// size for LOCAT and the SOTA tuners (TPC-DS, ARM).
+func Fig20OverheadGrowth(s *Session) ([]Table, error) {
+	sizes := []float64{100, 200, 300}
+	if s.Quick {
+		sizes = []float64{100, 300}
+	}
+	t := Table{
+		ID:     "fig20",
+		Title:  "Tuning overhead (h) vs input data size, TPC-DS on ARM",
+		Header: []string{"size(GB)", "LOCAT", "Tuneful", "DAC", "GBO-RL", "QTune"},
+	}
+	for _, gb := range sizes {
+		row := []string{f0(gb)}
+		for _, tn := range TunerNames {
+			o, err := s.Tune("arm", "TPC-DS", tn, gb)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, hours(o.OverheadSec))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	// Growth factor 100→max size per tuner.
+	last := sizes[len(sizes)-1]
+	row := []string{fmt.Sprintf("growth 100→%v", last)}
+	for _, tn := range TunerNames {
+		a, err := s.Tune("arm", "TPC-DS", tn, 100)
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.Tune("arm", "TPC-DS", tn, last)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, f2(b.OverheadSec/a.OverheadSec))
+	}
+	t.Rows = append(t.Rows, row)
+	return []Table{t}, nil
+}

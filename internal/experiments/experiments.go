@@ -1,0 +1,255 @@
+// Package experiments contains one driver per figure and table of the
+// paper's evaluation (Section 5). Each driver regenerates the corresponding
+// rows/series on the simulated clusters and returns them as printable
+// tables; cmd/locat-bench renders them and the repository's benchmark suite
+// (bench_test.go) runs them as testing.B benchmarks.
+//
+// All drivers run off a Session, which memoizes tuning runs (a LOCAT run of
+// TPC-DS at one size is reused by Figures 11, 13, 18, 19 and 20) and scales
+// budgets down in Quick mode so the full suite stays test-friendly.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"locat/internal/baselines"
+	"locat/internal/conf"
+	"locat/internal/core"
+	"locat/internal/qcsa"
+	"locat/internal/sparksim"
+	"locat/internal/workloads"
+)
+
+// Table is one printable result block.
+type Table struct {
+	// ID is the paper artifact this regenerates, e.g. "fig11".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Header holds the column names.
+	Header []string
+	// Rows holds the formatted cells.
+	Rows [][]string
+}
+
+// Render writes the table in aligned plain text.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Session runs experiments with memoized tuning results.
+type Session struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Quick scales every budget down for fast test/bench runs.
+	Quick bool
+
+	tuned map[string]*Outcome
+}
+
+// NewSession returns a session.
+func NewSession(seed int64, quick bool) *Session {
+	return &Session{Seed: seed, Quick: quick, tuned: map[string]*Outcome{}}
+}
+
+// Outcome is one tuner's result on one (cluster, benchmark, size) triple.
+type Outcome struct {
+	Tuner       string
+	Best        conf.Config
+	TunedSec    float64
+	OverheadSec float64
+	Runs        int
+}
+
+// TunerNames is the paper's comparison order.
+var TunerNames = []string{"LOCAT", "Tuneful", "DAC", "GBO-RL", "QTune"}
+
+// sizes returns the evaluation data sizes, reduced in Quick mode.
+func (s *Session) sizes() []float64 {
+	if s.Quick {
+		return []float64{100, 300}
+	}
+	return workloads.DataSizesGB
+}
+
+// benchmarks returns the benchmark suite, reduced in Quick mode.
+func (s *Session) benchmarks() []*sparksim.Application {
+	if s.Quick {
+		return []*sparksim.Application{workloads.TPCH(), workloads.HiBenchJoin()}
+	}
+	return workloads.Suites()
+}
+
+// locatOptions returns the LOCAT budget for this session.
+func (s *Session) locatOptions() core.Options {
+	o := core.DefaultOptions()
+	o.Seed = s.Seed
+	if s.Quick {
+		o.NQCSA = 10
+		o.NIICP = 8
+		o.MaxIter = 8
+		o.MinIter = 4
+		o.MCMCSamples = 2
+	}
+	return o
+}
+
+// baselineTuners returns the four SOTA baselines at session budgets.
+func (s *Session) baselineTuners() []baselines.Tuner {
+	if s.Quick {
+		return []baselines.Tuner{
+			&baselines.Tuneful{TopK: 6, BOIter: 24},
+			&baselines.DAC{TrainRuns: 32, Generations: 8, Population: 16, Validate: 5},
+			&baselines.GBORL{MemProbes: 10, RLSteps: 44, Epsilon: 0.25},
+			&baselines.QTune{Generations: 8, Episodes: 10, EliteFrac: 0.25},
+		}
+	}
+	return baselines.All()
+}
+
+// cluster returns the named cluster ("arm" or "x86").
+func Cluster(name string) *sparksim.Cluster {
+	if name == "x86" {
+		return sparksim.X86()
+	}
+	return sparksim.ARM()
+}
+
+// Tune returns the memoized outcome of running the named tuner on the
+// benchmark at the given size and cluster.
+func (s *Session) Tune(clusterName, benchName, tuner string, gb float64) (*Outcome, error) {
+	key := fmt.Sprintf("%s/%s/%s/%v", clusterName, benchName, tuner, gb)
+	if o, ok := s.tuned[key]; ok {
+		return o, nil
+	}
+	cl := Cluster(clusterName)
+	app, err := workloads.ByName(benchName)
+	if err != nil {
+		return nil, err
+	}
+	sim := sparksim.New(cl, s.Seed)
+	var out *Outcome
+	if tuner == "LOCAT" {
+		rep, err := core.New(sim, app, s.locatOptions()).Tune(gb)
+		if err != nil {
+			return nil, err
+		}
+		out = &Outcome{Tuner: "LOCAT", Best: rep.Best, TunedSec: rep.TunedSec,
+			OverheadSec: rep.OverheadSec, Runs: rep.Evaluations()}
+	} else {
+		var bt baselines.Tuner
+		for _, t := range s.baselineTuners() {
+			if t.Name() == tuner {
+				bt = t
+				break
+			}
+		}
+		if bt == nil {
+			return nil, fmt.Errorf("experiments: unknown tuner %q", tuner)
+		}
+		rep, err := bt.Tune(sim, app, gb, s.Seed+7)
+		if err != nil {
+			return nil, err
+		}
+		out = &Outcome{Tuner: rep.Tuner, Best: rep.Best, TunedSec: rep.TunedSec,
+			OverheadSec: rep.OverheadSec, Runs: rep.Runs}
+	}
+	s.tuned[key] = out
+	return out, nil
+}
+
+// canonicalQCSA runs the paper's QCSA protocol (N_QCSA random
+// configurations) for a benchmark on a cluster and memoizes the result.
+func (s *Session) canonicalQCSA(clusterName, benchName string, gb float64, n int) (*qcsa.Result, error) {
+	app, err := workloads.ByName(benchName)
+	if err != nil {
+		return nil, err
+	}
+	runs, err := s.randomRuns(clusterName, benchName, gb, n)
+	if err != nil {
+		return nil, err
+	}
+	return qcsa.Analyze(app, runs)
+}
+
+// randomRuns executes the benchmark n times under random configurations.
+func (s *Session) randomRuns(clusterName, benchName string, gb float64, n int) ([]sparksim.AppResult, error) {
+	cl := Cluster(clusterName)
+	app, err := workloads.ByName(benchName)
+	if err != nil {
+		return nil, err
+	}
+	sim := sparksim.New(cl, s.Seed)
+	space := cl.Space()
+	rng := newRng(s.Seed + 11)
+	out := make([]sparksim.AppResult, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, sim.RunApp(app, space.Random(rng), gb))
+	}
+	return out, nil
+}
+
+// Registry maps figure/table IDs to drivers.
+var Registry = map[string]func(*Session) ([]Table, error){
+	"fig2":   Fig2Motivation,
+	"fig6":   Fig6KernelComparison,
+	"fig7":   Fig7NQCSA,
+	"fig8":   Fig8QueryCV,
+	"fig9":   Fig9NIICP,
+	"fig10":  Fig10CPSCPE,
+	"table3": Table3TopParams,
+	"fig11":  Fig11OptTimeARM,
+	"fig12":  Fig12OptTimeX86,
+	"fig13":  Fig13SpeedupARM,
+	"fig14":  Fig14SpeedupX86,
+	"fig15":  Fig15APvsIP,
+	"fig16":  Fig16ModelMSE,
+	"fig17":  Fig17IICPvsGBRT,
+	"fig18":  Fig18CSQCIQ,
+	"fig19":  Fig19GCTime,
+	"fig20":  Fig20OverheadGrowth,
+	"fig21":  Fig21Hybrid,
+}
+
+// IDs returns the registered experiment IDs in a stable order.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"locat/internal/iicp"
+	"locat/internal/qcsa"
+	"locat/internal/sparksim"
+	"locat/internal/workloads"
+)
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
+
+// hours formats simulated seconds as hours.
+func hours(sec float64) string { return fmt.Sprintf("%.1f", sec/3600) }
+
+// iicpSamples collects n random-configuration samples of the benchmark.
+func (s *Session) iicpSamples(clusterName, benchName string, gb float64, n int) ([]iicp.Sample, error) {
+	cl := Cluster(clusterName)
+	app, err := workloads.ByName(benchName)
+	if err != nil {
+		return nil, err
+	}
+	sim := sparksim.New(cl, s.Seed)
+	space := cl.Space()
+	rng := newRng(s.Seed + 13)
+	out := make([]iicp.Sample, 0, n)
+	for i := 0; i < n; i++ {
+		c := space.Random(rng)
+		out = append(out, iicp.Sample{Conf: c, Sec: sim.RunApp(app, c, gb).Sec})
+	}
+	return out, nil
+}
+
+// benchNames returns the session benchmark names.
+func (s *Session) benchNames() []string {
+	apps := s.benchmarks()
+	out := make([]string, len(apps))
+	for i, a := range apps {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// avg returns the arithmetic mean.
+func avg(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var t float64
+	for _, x := range xs {
+		t += x
+	}
+	return t / float64(len(xs))
+}
+
+// analyzeRuns is a thin qcsa wrapper used by the CV-convergence figure.
+func analyzeRuns(app *sparksim.Application, runs []sparksim.AppResult) (*qcsa.Result, error) {
+	return qcsa.Analyze(app, runs)
+}

@@ -1,0 +1,113 @@
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"locat/internal/mat"
+	"locat/internal/stat"
+)
+
+// GP is a fitted Gaussian-process regressor. Outputs are standardized
+// internally (zero mean, unit variance); Predict undoes the transform.
+type GP struct {
+	x     [][]float64
+	yMean float64
+	yStd  float64
+	hyp   Hyper
+	chol  *mat.Cholesky
+	alpha []float64 // (K + σ_n² I)⁻¹ · y (standardized)
+}
+
+// Fit trains an exact GP on inputs x (rows, all the same length) and targets
+// y with hyperparameters h.
+func Fit(x [][]float64, y []float64, h Hyper) (*GP, error) {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return nil, errors.New("gp: empty or mismatched training set")
+	}
+	d := len(x[0])
+	for i, xi := range x {
+		if len(xi) != d {
+			return nil, fmt.Errorf("gp: row %d has %d features, want %d", i, len(xi), d)
+		}
+	}
+	g := &GP{x: x, hyp: h}
+	g.yMean = stat.Mean(y)
+	g.yStd = stat.StdDev(y)
+	if g.yStd < 1e-12 {
+		g.yStd = 1
+	}
+	ys := make([]float64, n)
+	for i := range y {
+		ys[i] = (y[i] - g.yMean) / g.yStd
+	}
+
+	k := mat.NewDense(n, n, nil)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := kernelEval(h, x[i], x[j])
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+	}
+	k.AddDiag(h.Noise2() + 1e-8)
+
+	chol, err := mat.NewCholesky(k)
+	if err != nil {
+		return nil, fmt.Errorf("gp: covariance not PD: %w", err)
+	}
+	g.chol = chol
+	g.alpha = chol.SolveVec(ys)
+	return g, nil
+}
+
+// N returns the number of training points.
+func (g *GP) N() int { return len(g.x) }
+
+// Hyper returns the hyperparameters the GP was fitted with.
+func (g *GP) Hyper() Hyper { return g.hyp }
+
+// Predict returns the posterior mean and variance at x* (equation 10 of the
+// paper). The variance is of the latent function (noise-free).
+func (g *GP) Predict(xs []float64) (mean, variance float64) {
+	n := len(g.x)
+	ks := make([]float64, n)
+	for i := range g.x {
+		ks[i] = kernelEval(g.hyp, g.x[i], xs)
+	}
+	m := mat.Dot(ks, g.alpha)
+	v := g.chol.SolveLowerVec(ks)
+	variance = kernelEval(g.hyp, xs, xs) - mat.Dot(v, v)
+	if variance < 1e-12 {
+		variance = 1e-12
+	}
+	// Undo output standardization.
+	return m*g.yStd + g.yMean, variance * g.yStd * g.yStd
+}
+
+// LogMarginalLikelihood returns the log evidence of the standardized
+// training targets under the GP prior — the quantity the slice sampler
+// explores.
+func (g *GP) LogMarginalLikelihood() float64 {
+	return logML(g.chol, g.alpha)
+}
+
+// logML computes -½·yᵀα - ½·log|K| - n/2·log 2π given the Cholesky factor
+// and α = K⁻¹y. yᵀα is recovered as αᵀKα = |Lᵀα|².
+func logML(chol *mat.Cholesky, alpha []float64) float64 {
+	n := len(alpha)
+	l := chol.L()
+	// w = Lᵀ·α
+	w := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for k := i; k < n; k++ {
+			s += l.At(k, i) * alpha[k]
+		}
+		w[i] = s
+	}
+	quad := mat.Dot(w, w)
+	return -0.5*quad - 0.5*chol.LogDet() - 0.5*float64(n)*math.Log(2*math.Pi)
+}

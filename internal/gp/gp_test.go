@@ -1,0 +1,196 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, nil, DefaultHyper()); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1, 2}, DefaultHyper()); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, err := Fit([][]float64{{1}, {1, 2}}, []float64{1, 2}, DefaultHyper()); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+}
+
+func TestInterpolatesTrainingPoints(t *testing.T) {
+	x := [][]float64{{0}, {0.25}, {0.5}, {0.75}, {1}}
+	y := []float64{0, 1, 0, -1, 0}
+	h := DefaultHyper()
+	h.LogNoise = math.Log(1e-4) // near-noiseless
+	g, err := Fit(x, y, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		m, v := g.Predict(x[i])
+		if math.Abs(m-y[i]) > 0.05 {
+			t.Fatalf("mean at training point %d = %v; want %v", i, m, y[i])
+		}
+		if v < 0 {
+			t.Fatalf("negative variance %v", v)
+		}
+	}
+}
+
+func TestVarianceGrowsAwayFromData(t *testing.T) {
+	x := [][]float64{{0.4}, {0.5}, {0.6}}
+	y := []float64{1, 2, 1}
+	g, err := Fit(x, y, DefaultHyper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, vNear := g.Predict([]float64{0.5})
+	_, vFar := g.Predict([]float64{3.0})
+	if vFar <= vNear {
+		t.Fatalf("variance far (%v) not above variance near (%v)", vFar, vNear)
+	}
+}
+
+func TestPredictRecoverSmoothFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(x float64) float64 { return math.Sin(3*x) + 0.5*x }
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 25; i++ {
+		v := rng.Float64()
+		xs = append(xs, []float64{v})
+		ys = append(ys, f(v)+rng.NormFloat64()*0.01)
+	}
+	h := Hyper{LogLen: math.Log(0.3), LogSignal: 0, LogNoise: math.Log(0.05)}
+	g, err := Fit(xs, ys, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		m, _ := g.Predict([]float64{q})
+		if math.Abs(m-f(q)) > 0.15 {
+			t.Fatalf("prediction at %v = %v; want ≈%v", q, m, f(q))
+		}
+	}
+}
+
+func TestHyperAccessors(t *testing.T) {
+	h := Hyper{LogLen: math.Log(2), LogSignal: math.Log(3), LogNoise: math.Log(0.5)}
+	if math.Abs(h.Len()-2) > 1e-12 {
+		t.Fatal("Len wrong")
+	}
+	if math.Abs(h.Signal2()-9) > 1e-9 {
+		t.Fatal("Signal2 wrong")
+	}
+	if math.Abs(h.Noise2()-0.25) > 1e-12 {
+		t.Fatal("Noise2 wrong")
+	}
+}
+
+func TestKernelProperties(t *testing.T) {
+	h := DefaultHyper()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(5)
+		a := make([]float64, d)
+		b := make([]float64, d)
+		for i := 0; i < d; i++ {
+			a[i] = rng.Float64()
+			b[i] = rng.Float64()
+		}
+		kab := kernelEval(h, a, b)
+		kba := kernelEval(h, b, a)
+		kaa := kernelEval(h, a, a)
+		// Symmetry, boundedness by the diagonal, positivity.
+		return kab == kba && kab > 0 && kab <= kaa+1e-12 &&
+			math.Abs(kaa-h.Signal2()) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogMarginalLikelihoodPrefersGoodFit(t *testing.T) {
+	// Data drawn from a smooth function: a sensible length-scale must have a
+	// higher evidence than an absurdly tiny one that treats everything as
+	// independent noise.
+	rng := rand.New(rand.NewSource(5))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 20; i++ {
+		v := rng.Float64()
+		xs = append(xs, []float64{v})
+		ys = append(ys, math.Sin(4*v))
+	}
+	good := Hyper{LogLen: math.Log(0.3), LogSignal: 0, LogNoise: math.Log(0.05)}
+	bad := Hyper{LogLen: math.Log(0.001), LogSignal: 0, LogNoise: math.Log(0.05)}
+	gGood, err := Fit(xs, ys, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gBad, err := Fit(xs, ys, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gGood.LogMarginalLikelihood() <= gBad.LogMarginalLikelihood() {
+		t.Fatalf("evidence: good %v <= bad %v", gGood.LogMarginalLikelihood(), gBad.LogMarginalLikelihood())
+	}
+}
+
+func TestSampleHyper(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 15; i++ {
+		v := rng.Float64()
+		xs = append(xs, []float64{v})
+		ys = append(ys, math.Sin(4*v)+rng.NormFloat64()*0.05)
+	}
+	hs := SampleHyper(xs, ys, 6, rng)
+	if len(hs) != 6 {
+		t.Fatalf("got %d samples", len(hs))
+	}
+	// All samples must yield fittable GPs, and the chain must move.
+	moved := false
+	for i, h := range hs {
+		if _, err := Fit(xs, ys, h); err != nil {
+			t.Fatalf("sample %d unusable: %v", i, err)
+		}
+		if h != hs[0] {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("slice sampler never moved")
+	}
+	if got := SampleHyper(xs, ys, 0, rng); got != nil {
+		t.Fatal("n=0 should return nil")
+	}
+}
+
+func TestGPNAndHyper(t *testing.T) {
+	g, err := Fit([][]float64{{0}, {1}}, []float64{1, 2}, DefaultHyper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2 {
+		t.Fatal("N wrong")
+	}
+	if g.Hyper() != DefaultHyper() {
+		t.Fatal("Hyper wrong")
+	}
+}
+
+func TestConstantTargets(t *testing.T) {
+	// Degenerate y (zero variance) must not blow up.
+	g, err := Fit([][]float64{{0}, {0.5}, {1}}, []float64{5, 5, 5}, DefaultHyper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, v := g.Predict([]float64{0.25})
+	if math.Abs(m-5) > 0.5 || v < 0 {
+		t.Fatalf("constant-target prediction = %v ± %v", m, v)
+	}
+}

@@ -1,0 +1,68 @@
+// Package gp implements Gaussian-process regression with marginal-likelihood
+// hyperparameter inference — the surrogate model underlying LOCAT's
+// datasize-aware Bayesian optimization (paper Section 3.4, equations 8–10).
+//
+// The package provides:
+//   - a squared-exponential (Gaussian/RBF) covariance kernel with signal
+//     variance, length-scale and observation-noise hyperparameters;
+//   - exact GP regression via Cholesky factorization (posterior mean and
+//     variance, equation 10);
+//   - the log marginal likelihood and a univariate slice sampler over the
+//     log-hyperparameters, which powers the EI-MCMC acquisition of
+//     Snoek et al. used by the paper.
+package gp
+
+import "math"
+
+// Hyper are the log-scale hyperparameters of the squared-exponential kernel
+// plus the Gaussian observation-noise variance.
+type Hyper struct {
+	// LogLen is the log length-scale ℓ (inputs are expected in [0,1]).
+	LogLen float64
+	// LogSignal is the log signal standard deviation σ_f.
+	LogSignal float64
+	// LogNoise is the log noise standard deviation σ_n.
+	LogNoise float64
+}
+
+// DefaultHyper returns a reasonable starting point for unit-cube inputs and
+// standardized outputs.
+func DefaultHyper() Hyper {
+	return Hyper{LogLen: math.Log(0.4), LogSignal: 0, LogNoise: math.Log(0.1)}
+}
+
+// Len returns the length-scale ℓ.
+func (h Hyper) Len() float64 { return math.Exp(h.LogLen) }
+
+// Signal2 returns the signal variance σ_f².
+func (h Hyper) Signal2() float64 { return math.Exp(2 * h.LogSignal) }
+
+// Noise2 returns the noise variance σ_n².
+func (h Hyper) Noise2() float64 { return math.Exp(2 * h.LogNoise) }
+
+// kernelEval is the squared-exponential covariance
+// k(a,b) = σ_f² · exp(-|a-b|² / (2ℓ²)).
+func kernelEval(h Hyper, a, b []float64) float64 {
+	var d2 float64
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	l := h.Len()
+	return h.Signal2() * math.Exp(-d2/(2*l*l))
+}
+
+// logPrior is a weakly-informative Gaussian prior over the log
+// hyperparameters, keeping the slice sampler in a numerically sane region.
+func logPrior(h Hyper) float64 {
+	lp := 0.0
+	lp += logNormPDF(h.LogLen, math.Log(0.4), 1.0)
+	lp += logNormPDF(h.LogSignal, 0, 1.0)
+	lp += logNormPDF(h.LogNoise, math.Log(0.1), 1.0)
+	return lp
+}
+
+func logNormPDF(x, mu, sigma float64) float64 {
+	d := (x - mu) / sigma
+	return -0.5*d*d - math.Log(sigma) - 0.5*math.Log(2*math.Pi)
+}

@@ -1,0 +1,112 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+)
+
+// logPosterior is the unnormalized log posterior of hyperparameters h given
+// the data: log marginal likelihood + log prior. Returns -Inf when the
+// covariance matrix is not positive definite.
+func logPosterior(x [][]float64, y []float64, h Hyper) float64 {
+	g, err := Fit(x, y, h)
+	if err != nil {
+		return math.Inf(-1)
+	}
+	return g.LogMarginalLikelihood() + logPrior(h)
+}
+
+// SampleHyper draws n hyperparameter samples from the posterior using
+// univariate slice sampling (Neal 2003) cycled over the three
+// log-hyperparameters, starting from DefaultHyper. This is the MCMC
+// marginalization step of the EI-MCMC acquisition (Snoek et al. 2012) that
+// the paper adopts (Section 3.4, "Acquisition function").
+func SampleHyper(x [][]float64, y []float64, n int, rng *rand.Rand) []Hyper {
+	if n <= 0 {
+		return nil
+	}
+	cur := DefaultHyper()
+	curLP := logPosterior(x, y, cur)
+	if math.IsInf(curLP, -1) {
+		// Degenerate data; fall back to the prior default.
+		out := make([]Hyper, n)
+		for i := range out {
+			out[i] = cur
+		}
+		return out
+	}
+	const (
+		burn  = 5
+		thin  = 2
+		width = 0.8
+	)
+	var out []Hyper
+	total := burn + n*thin
+	for it := 0; it < total; it++ {
+		for coord := 0; coord < 3; coord++ {
+			cur, curLP = sliceStep(x, y, cur, curLP, coord, width, rng)
+		}
+		if it >= burn && (it-burn)%thin == 0 {
+			out = append(out, cur)
+		}
+	}
+	for len(out) < n {
+		out = append(out, cur)
+	}
+	return out[:n]
+}
+
+// sliceStep performs one univariate slice-sampling update of coordinate
+// coord of the hyperparameter vector.
+func sliceStep(x [][]float64, y []float64, h Hyper, lp float64, coord int, width float64, rng *rand.Rand) (Hyper, float64) {
+	get := func(h Hyper) float64 {
+		switch coord {
+		case 0:
+			return h.LogLen
+		case 1:
+			return h.LogSignal
+		default:
+			return h.LogNoise
+		}
+	}
+	set := func(h Hyper, v float64) Hyper {
+		switch coord {
+		case 0:
+			h.LogLen = v
+		case 1:
+			h.LogSignal = v
+		default:
+			h.LogNoise = v
+		}
+		return h
+	}
+
+	x0 := get(h)
+	logU := lp + math.Log(rng.Float64()+1e-300)
+
+	// Step out.
+	lo := x0 - width*rng.Float64()
+	hi := lo + width
+	for i := 0; i < 8 && logPosterior(x, y, set(h, lo)) > logU; i++ {
+		lo -= width
+	}
+	for i := 0; i < 8 && logPosterior(x, y, set(h, hi)) > logU; i++ {
+		hi += width
+	}
+
+	// Shrink.
+	for i := 0; i < 20; i++ {
+		v := lo + rng.Float64()*(hi-lo)
+		cand := set(h, v)
+		clp := logPosterior(x, y, cand)
+		if clp > logU {
+			return cand, clp
+		}
+		if v < x0 {
+			lo = v
+		} else {
+			hi = v
+		}
+	}
+	return h, lp
+}

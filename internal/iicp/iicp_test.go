@@ -1,0 +1,166 @@
+package iicp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"locat/internal/conf"
+	"locat/internal/sparksim"
+	"locat/internal/workloads"
+)
+
+// collect returns n (config, latency) samples of the TPC-DS application at
+// the given size.
+func collect(t *testing.T, n int, dataGB float64, seed int64) (*conf.Space, []Sample) {
+	t.Helper()
+	cl := sparksim.ARM()
+	sim := sparksim.New(cl, seed)
+	space := cl.Space()
+	app := workloads.TPCDS()
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Sample, 0, n)
+	for i := 0; i < n; i++ {
+		c := space.Random(rng)
+		out = append(out, Sample{Conf: c, Sec: sim.RunApp(app, c, dataGB).Sec})
+	}
+	return space, out
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	space, samples := collect(t, 5, 100, 1)
+	if _, err := Analyze(space, samples[:2], DefaultOptions()); err == nil {
+		t.Fatal("too-few samples accepted")
+	}
+	bad := append([]Sample(nil), samples...)
+	bad[0].Conf = bad[0].Conf[:5]
+	if _, err := Analyze(space, bad, DefaultOptions()); err == nil {
+		t.Fatal("short config accepted")
+	}
+}
+
+func TestCPSReducesAndCPEExtractsFurther(t *testing.T) {
+	space, samples := collect(t, 20, 100, 2)
+	res, err := Analyze(space, samples, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scores) != conf.NumParams {
+		t.Fatalf("got %d scores", len(res.Scores))
+	}
+	// Figure 10 shape: CPS keeps a strict subset (≈2/3 of 38), CPE extracts
+	// fewer still.
+	if res.NumSelected() >= conf.NumParams || res.NumSelected() < 8 {
+		t.Fatalf("CPS selected %d params; want a meaningful subset of 38", res.NumSelected())
+	}
+	if res.NumImportant() >= res.NumSelected() && res.NumSelected() > 4 {
+		t.Fatalf("CPE (%d) did not reduce below CPS (%d)", res.NumImportant(), res.NumSelected())
+	}
+	if res.NumImportant() < 4 || res.NumImportant() > 20 {
+		t.Fatalf("CPE extracted %d; want ≈8–16 (paper: 15 for TPC-DS)", res.NumImportant())
+	}
+	// All selected must clear the cutoff, all important must be selected.
+	scoreOf := map[int]float64{}
+	for _, s := range res.Scores {
+		scoreOf[s.Index] = s.SCC
+	}
+	sel := map[int]bool{}
+	for _, j := range res.Selected {
+		if math.Abs(scoreOf[j]) < 0.2 {
+			t.Fatalf("selected param %d has |SCC| %v < 0.2", j, scoreOf[j])
+		}
+		sel[j] = true
+	}
+	seen := map[int]bool{}
+	for _, j := range res.Important {
+		if !sel[j] {
+			t.Fatalf("important param %d not CPS-selected", j)
+		}
+		if seen[j] {
+			t.Fatalf("important param %d repeated", j)
+		}
+		seen[j] = true
+	}
+}
+
+func TestShufflePartitionsTopRanked(t *testing.T) {
+	// Table 3: spark.sql.shuffle.partitions ranks among the most important
+	// parameters at every data size; memory/executor parameters populate
+	// the top of the list. (With the paper's N_IICP = 20 the Spearman
+	// estimates carry ±0.23 of sampling noise, so the membership check uses
+	// a larger sample and the top eight.)
+	space, samples := collect(t, 60, 100, 3)
+	res, err := Analyze(space, samples, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := res.TopParams(8)
+	found := false
+	for _, n := range top {
+		if n == "spark.sql.shuffle.partitions" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("shuffle.partitions not in top-8: %v", top)
+	}
+	// The important set must include at least one memory-related and one
+	// parallelism-related parameter.
+	names := map[string]bool{}
+	params := conf.Params()
+	for _, j := range res.Important {
+		names[params[j].Name] = true
+	}
+	mem := names["spark.executor.memory"] || names["spark.memory.offHeap.size"] ||
+		names["spark.memory.fraction"] || names["spark.memory.storageFraction"] ||
+		names["spark.executor.memoryOverhead"] || names["spark.memory.offHeap.enabled"]
+	par := names["spark.sql.shuffle.partitions"] || names["spark.executor.instances"] ||
+		names["spark.executor.cores"]
+	if !mem || !par {
+		t.Fatalf("important set misses memory (%v) or parallelism (%v): %v", mem, par, names)
+	}
+}
+
+func TestImportantCountStabilizes(t *testing.T) {
+	// Figure 9: the identified-important count flattens for N_IICP ≥ 20.
+	space, samples := collect(t, 50, 100, 4)
+	at := func(n int) int {
+		res, err := Analyze(space, samples[:n], DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.NumImportant()
+	}
+	c20, c35, c50 := at(20), at(35), at(50)
+	if d := c20 - c35; d < -5 || d > 5 {
+		t.Fatalf("count unstable 20→35: %d vs %d", c20, c35)
+	}
+	if d := c35 - c50; d < -5 || d > 5 {
+		t.Fatalf("count unstable 35→50: %d vs %d", c35, c50)
+	}
+}
+
+func TestTopParamsBounds(t *testing.T) {
+	space, samples := collect(t, 10, 100, 5)
+	res, err := Analyze(space, samples, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.TopParams(1000); len(got) != conf.NumParams {
+		t.Fatalf("TopParams(1000) returned %d", len(got))
+	}
+	if got := res.TopParams(3); len(got) != 3 {
+		t.Fatalf("TopParams(3) returned %d", len(got))
+	}
+}
+
+func TestDefaultCutoffApplied(t *testing.T) {
+	space, samples := collect(t, 20, 100, 6)
+	res, err := Analyze(space, samples, Options{Kernel: DefaultOptions().Kernel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumSelected() == 0 {
+		t.Fatal("zero selection under default cutoff")
+	}
+}

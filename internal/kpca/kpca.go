@@ -1,0 +1,319 @@
+// Package kpca implements Kernel Principal Component Analysis — the
+// configuration-parameter extraction (CPE) step of LOCAT's IICP (paper
+// Section 3.3.2). Three kernels are provided, matching the paper's Figure 6
+// comparison: Gaussian (the one LOCAT adopts), perceptron and polynomial.
+//
+// Fit centers the kernel Gram matrix in feature space, eigendecomposes it,
+// and keeps the leading components by a relative-eigenvalue rule; Transform
+// projects new points onto the kept components; PreImage approximately maps
+// component-space points back to input space by the fixed-point iteration of
+// Mika et al. (1998), which is how the tuner derives original configuration
+// values from the extracted parameters after BO converges.
+package kpca
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"locat/internal/mat"
+)
+
+// KernelKind selects the KPCA kernel.
+type KernelKind int
+
+const (
+	// Gaussian is k(a,b) = exp(-γ·|a-b|²) — the kernel the paper selects
+	// (Figure 6).
+	Gaussian KernelKind = iota
+	// Perceptron is the (conditionally positive definite) kernel
+	// k(a,b) = -|a-b|.
+	Perceptron
+	// Polynomial is k(a,b) = (aᵀb + 1)³.
+	Polynomial
+)
+
+// String returns the kernel name.
+func (k KernelKind) String() string {
+	switch k {
+	case Gaussian:
+		return "gaussian"
+	case Perceptron:
+		return "perceptron"
+	case Polynomial:
+		return "polynomial"
+	}
+	return "unknown"
+}
+
+// Kernel is a configured KPCA kernel.
+type Kernel struct {
+	Kind KernelKind
+	// Gamma is the Gaussian bandwidth; ≤0 selects 1/d (d = input dim).
+	Gamma float64
+	// Degree is the polynomial degree; ≤0 selects 3.
+	Degree int
+}
+
+// Eval computes k(a, b).
+func (k Kernel) Eval(a, b []float64) float64 {
+	switch k.Kind {
+	case Gaussian:
+		g := k.Gamma
+		if g <= 0 {
+			g = 1 / float64(len(a))
+		}
+		var d2 float64
+		for i := range a {
+			d := a[i] - b[i]
+			d2 += d * d
+		}
+		return math.Exp(-g * d2)
+	case Perceptron:
+		var d2 float64
+		for i := range a {
+			d := a[i] - b[i]
+			d2 += d * d
+		}
+		return -math.Sqrt(d2)
+	case Polynomial:
+		deg := k.Degree
+		if deg <= 0 {
+			deg = 3
+		}
+		var dot float64
+		for i := range a {
+			dot += a[i] * b[i]
+		}
+		return math.Pow(dot+1, float64(deg))
+	}
+	panic(fmt.Sprintf("kpca: unknown kernel %d", k.Kind))
+}
+
+// KPCA is a fitted kernel PCA model.
+type KPCA struct {
+	kernel  Kernel
+	x       [][]float64
+	alphas  *mat.Dense // n × m, column j = normalized eigenvector of component j
+	lambdas []float64  // kept eigenvalues (descending)
+	rowMean []float64  // per-row mean of the uncentered Gram matrix
+	allMean float64    // grand mean of the uncentered Gram matrix
+}
+
+// Options control component selection.
+type Options struct {
+	// MaxComponents caps the number of kept components (0 = no cap).
+	MaxComponents int
+	// MinEigenFrac keeps components whose eigenvalue is at least this
+	// fraction of the total positive spectrum (default 0.02). The relative
+	// rule makes the kept-component count stabilize as samples grow, which
+	// is what the paper observes when calibrating N_IICP (Figure 9).
+	MinEigenFrac float64
+}
+
+// Fit computes kernel PCA over the rows of x.
+func Fit(x [][]float64, kernel Kernel, opts Options) (*KPCA, error) {
+	n := len(x)
+	if n < 2 {
+		return nil, errors.New("kpca: need at least 2 samples")
+	}
+	d := len(x[0])
+	for i := range x {
+		if len(x[i]) != d {
+			return nil, fmt.Errorf("kpca: row %d has %d features, want %d", i, len(x[i]), d)
+		}
+	}
+	if opts.MinEigenFrac <= 0 {
+		opts.MinEigenFrac = 0.02
+	}
+
+	// Uncentered Gram matrix.
+	k := mat.NewDense(n, n, nil)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := kernel.Eval(x[i], x[j])
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+	}
+	// Row means and grand mean for double centering:
+	// K̃ = K - 1ₙK - K1ₙ + 1ₙK1ₙ.
+	rowMean := make([]float64, n)
+	var allMean float64
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < n; j++ {
+			s += k.At(i, j)
+		}
+		rowMean[i] = s / float64(n)
+		allMean += s
+	}
+	allMean /= float64(n * n)
+	kc := mat.NewDense(n, n, nil)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			kc.Set(i, j, k.At(i, j)-rowMean[i]-rowMean[j]+allMean)
+		}
+	}
+
+	eig, err := mat.SymEigen(kc)
+	if err != nil {
+		return nil, err
+	}
+
+	// Total positive spectrum.
+	var total float64
+	for _, l := range eig.Values {
+		if l > 0 {
+			total += l
+		}
+	}
+	if total <= 0 {
+		return nil, errors.New("kpca: degenerate kernel matrix (no positive eigenvalues)")
+	}
+
+	var kept []int
+	for i, l := range eig.Values {
+		if l <= 0 {
+			continue
+		}
+		if l/total < opts.MinEigenFrac {
+			continue
+		}
+		kept = append(kept, i)
+		if opts.MaxComponents > 0 && len(kept) >= opts.MaxComponents {
+			break
+		}
+	}
+	if len(kept) == 0 {
+		kept = []int{0}
+	}
+
+	alphas := mat.NewDense(n, len(kept), nil)
+	lambdas := make([]float64, len(kept))
+	for j, idx := range kept {
+		lambdas[j] = eig.Values[idx]
+		// Normalize so that λ·αᵀα = 1 (unit-norm feature-space components).
+		scale := 1 / math.Sqrt(eig.Values[idx])
+		for i := 0; i < n; i++ {
+			alphas.Set(i, j, eig.Vectors.At(i, idx)*scale)
+		}
+	}
+
+	return &KPCA{
+		kernel:  kernel,
+		x:       x,
+		alphas:  alphas,
+		lambdas: lambdas,
+		rowMean: rowMean,
+		allMean: allMean,
+	}, nil
+}
+
+// NumComponents returns the number of kept principal components.
+func (p *KPCA) NumComponents() int { return len(p.lambdas) }
+
+// Eigenvalues returns the kept eigenvalues in descending order (a copy).
+func (p *KPCA) Eigenvalues() []float64 { return append([]float64(nil), p.lambdas...) }
+
+// Transform projects x onto the kept components.
+func (p *KPCA) Transform(x []float64) []float64 {
+	n := len(p.x)
+	kx := make([]float64, n)
+	var kxMean float64
+	for i := range p.x {
+		kx[i] = p.kernel.Eval(p.x[i], x)
+		kxMean += kx[i]
+	}
+	kxMean /= float64(n)
+	// Center the test kernel vector consistently with the training Gram.
+	kc := make([]float64, n)
+	for i := range kx {
+		kc[i] = kx[i] - p.rowMean[i] - kxMean + p.allMean
+	}
+	out := make([]float64, p.NumComponents())
+	for j := range out {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += p.alphas.At(i, j) * kc[i]
+		}
+		out[j] = s
+	}
+	return out
+}
+
+// PreImage approximately inverts Transform for the Gaussian kernel using the
+// fixed-point iteration of Mika et al.: the pre-image z of a feature-space
+// point is a kernel-weighted average of training inputs, iterated to a fixed
+// point. For non-Gaussian kernels it falls back to the weighted average of
+// the training points by component-space proximity.
+func (p *KPCA) PreImage(y []float64) []float64 {
+	if len(y) != p.NumComponents() {
+		panic(fmt.Sprintf("kpca: PreImage got %d coords, want %d", len(y), p.NumComponents()))
+	}
+	n := len(p.x)
+	d := len(p.x[0])
+
+	// Projection coefficients of the target feature-space point onto the
+	// training expansion: β_i = Σ_j y_j α_ij (plus centering terms folded
+	// into the iteration below).
+	beta := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := range y {
+			s += p.alphas.At(i, j) * y[j]
+		}
+		beta[i] = s + 1.0/float64(n) // centering restores the mean component
+	}
+
+	// Initialize at the β-weighted mean of training points.
+	z := make([]float64, d)
+	var bsum float64
+	for i := range beta {
+		w := beta[i]
+		if w < 0 {
+			w = 0
+		}
+		bsum += w
+		for j := 0; j < d; j++ {
+			z[j] += w * p.x[i][j]
+		}
+	}
+	if bsum > 1e-12 {
+		for j := range z {
+			z[j] /= bsum
+		}
+	}
+	if p.kernel.Kind != Gaussian {
+		return z
+	}
+
+	// Fixed-point refinement: z ← Σ β_i k(x_i,z) x_i / Σ β_i k(x_i,z).
+	for it := 0; it < 30; it++ {
+		var wsum float64
+		zn := make([]float64, d)
+		for i := range p.x {
+			w := beta[i] * p.kernel.Eval(p.x[i], z)
+			if w <= 0 {
+				continue
+			}
+			wsum += w
+			for j := 0; j < d; j++ {
+				zn[j] += w * p.x[i][j]
+			}
+		}
+		if wsum < 1e-12 {
+			break
+		}
+		var moved float64
+		for j := range zn {
+			zn[j] /= wsum
+			moved += math.Abs(zn[j] - z[j])
+		}
+		z = zn
+		if moved < 1e-9 {
+			break
+		}
+	}
+	return z
+}

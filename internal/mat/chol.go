@@ -1,0 +1,104 @@
+package mat
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky when the input matrix is not
+// (numerically) symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("mat: matrix is not positive definite")
+
+// Cholesky holds the lower-triangular factor L of a symmetric positive
+// definite matrix A = L·Lᵀ.
+type Cholesky struct {
+	l *Dense // lower triangular, n×n
+}
+
+// NewCholesky factors the symmetric positive definite matrix a.
+// Only the lower triangle of a is read.
+func NewCholesky(a *Dense) (*Cholesky, error) {
+	n, c := a.Dims()
+	if n != c {
+		return nil, errors.New("mat: Cholesky of non-square matrix")
+	}
+	l := NewDense(n, n, nil)
+	for j := 0; j < n; j++ {
+		var d float64 = a.At(j, j)
+		for k := 0; k < j; k++ {
+			ljk := l.At(j, k)
+			d -= ljk * ljk
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		dj := math.Sqrt(d)
+		l.Set(j, j, dj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/dj)
+		}
+	}
+	return &Cholesky{l: l}, nil
+}
+
+// L returns the lower-triangular factor (not a copy).
+func (c *Cholesky) L() *Dense { return c.l }
+
+// SolveVec solves A·x = b in place-free fashion and returns x.
+func (c *Cholesky) SolveVec(b []float64) []float64 {
+	n, _ := c.l.Dims()
+	if len(b) != n {
+		panic("mat: Cholesky.SolveVec length mismatch")
+	}
+	// Forward substitution: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= c.l.At(i, k) * y[k]
+		}
+		y[i] = s / c.l.At(i, i)
+	}
+	// Back substitution: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.l.At(k, i) * x[k]
+		}
+		x[i] = s / c.l.At(i, i)
+	}
+	return x
+}
+
+// SolveLowerVec solves L·y = b (forward substitution only) and returns y.
+// Used for computing predictive variances: v = L⁻¹·k*.
+func (c *Cholesky) SolveLowerVec(b []float64) []float64 {
+	n, _ := c.l.Dims()
+	if len(b) != n {
+		panic("mat: Cholesky.SolveLowerVec length mismatch")
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= c.l.At(i, k) * y[k]
+		}
+		y[i] = s / c.l.At(i, i)
+	}
+	return y
+}
+
+// LogDet returns log|A| = 2·Σ log L_ii.
+func (c *Cholesky) LogDet() float64 {
+	n, _ := c.l.Dims()
+	var s float64
+	for i := 0; i < n; i++ {
+		s += math.Log(c.l.At(i, i))
+	}
+	return 2 * s
+}

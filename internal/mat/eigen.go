@@ -1,0 +1,114 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Eigen holds the eigendecomposition of a symmetric matrix: A·v_i = λ_i·v_i.
+// Eigenvalues are sorted in descending order; Vectors column i corresponds to
+// Values[i].
+type Eigen struct {
+	Values  []float64
+	Vectors *Dense // n×n, columns are unit eigenvectors
+}
+
+// SymEigen computes the full eigendecomposition of the symmetric matrix a
+// using the cyclic Jacobi rotation method. Only the lower triangle is read.
+// The method is O(n³) per sweep and converges quadratically; it is more than
+// fast enough for the Gram matrices (n ≤ a few hundred) used by kernel PCA.
+func SymEigen(a *Dense) (*Eigen, error) {
+	n, c := a.Dims()
+	if n != c {
+		return nil, errors.New("mat: SymEigen of non-square matrix")
+	}
+	// Work on a symmetric copy.
+	w := NewDense(n, n, nil)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := a.At(i, j)
+			w.Set(i, j, v)
+			w.Set(j, i, v)
+		}
+	}
+	v := Identity(n)
+
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(w)
+		if off < 1e-12 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-15 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				// Rotation angle.
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				cc := 1 / math.Sqrt(1+t*t)
+				s := t * cc
+				tau := s / (1 + cc)
+
+				w.Set(p, p, app-t*apq)
+				w.Set(q, q, aqq+t*apq)
+				w.Set(p, q, 0)
+				w.Set(q, p, 0)
+				for i := 0; i < n; i++ {
+					if i != p && i != q {
+						aip, aiq := w.At(i, p), w.At(i, q)
+						w.Set(i, p, aip-s*(aiq+tau*aip))
+						w.Set(p, i, w.At(i, p))
+						w.Set(i, q, aiq+s*(aip-tau*aiq))
+						w.Set(q, i, w.At(i, q))
+					}
+					vip, viq := v.At(i, p), v.At(i, q)
+					v.Set(i, p, vip-s*(viq+tau*vip))
+					v.Set(i, q, viq+s*(vip-tau*viq))
+				}
+			}
+		}
+	}
+
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = w.At(i, i)
+	}
+	// Sort descending by eigenvalue, permuting eigenvector columns to match.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return vals[idx[i]] > vals[idx[j]] })
+	sortedVals := make([]float64, n)
+	sortedVecs := NewDense(n, n, nil)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = vals[oldCol]
+		for i := 0; i < n; i++ {
+			sortedVecs.Set(i, newCol, v.At(i, oldCol))
+		}
+	}
+	return &Eigen{Values: sortedVals, Vectors: sortedVecs}, nil
+}
+
+func offDiagNorm(a *Dense) float64 {
+	n, _ := a.Dims()
+	var s float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				s += a.At(i, j) * a.At(i, j)
+			}
+		}
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,193 @@
+package ml
+
+import (
+	"sort"
+
+	"locat/internal/stat"
+)
+
+// GBRTOptions configure the gradient-boosted regression trees.
+type GBRTOptions struct {
+	// Trees is the boosting-round count (default 120).
+	Trees int
+	// MaxDepth is the per-tree depth (default 3).
+	MaxDepth int
+	// LearningRate is the shrinkage (default 0.1).
+	LearningRate float64
+	// MinLeaf is the minimum samples per leaf (default 2).
+	MinLeaf int
+}
+
+// GBRT is gradient boosting with regression trees under squared loss.
+type GBRT struct {
+	opts  GBRTOptions
+	base  float64
+	trees []*tree
+	dim   int
+	// gains accumulates total squared-error reduction per feature across
+	// all splits — the feature-importance measure.
+	gains []float64
+}
+
+// NewGBRT returns an untrained GBRT with defaults filled in.
+func NewGBRT(o GBRTOptions) *GBRT {
+	if o.Trees <= 0 {
+		o.Trees = 120
+	}
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 3
+	}
+	if o.LearningRate <= 0 {
+		o.LearningRate = 0.1
+	}
+	if o.MinLeaf <= 0 {
+		o.MinLeaf = 2
+	}
+	return &GBRT{opts: o}
+}
+
+// Name implements Regressor.
+func (g *GBRT) Name() string { return "GBRT" }
+
+// Fit implements Regressor.
+func (g *GBRT) Fit(x [][]float64, y []float64) error {
+	d, err := checkXY(x, y)
+	if err != nil {
+		return err
+	}
+	g.dim = d
+	g.gains = make([]float64, d)
+	g.base = stat.Mean(y)
+	g.trees = g.trees[:0]
+
+	resid := make([]float64, len(y))
+	for i := range y {
+		resid[i] = y[i] - g.base
+	}
+	idx := make([]int, len(y))
+	for i := range idx {
+		idx[i] = i
+	}
+	for t := 0; t < g.opts.Trees; t++ {
+		tr := buildTree(x, resid, idx, g.opts.MaxDepth, g.opts.MinLeaf, g.gains)
+		if tr == nil {
+			break
+		}
+		g.trees = append(g.trees, tr)
+		for i := range resid {
+			resid[i] -= g.opts.LearningRate * tr.predict(x[i])
+		}
+	}
+	return nil
+}
+
+// Predict implements Regressor.
+func (g *GBRT) Predict(x []float64) float64 {
+	out := g.base
+	for _, tr := range g.trees {
+		out += g.opts.LearningRate * tr.predict(x)
+	}
+	return out
+}
+
+// FeatureImportance returns per-feature importances (split-gain totals,
+// normalized to sum to 1). Zero-length before Fit.
+func (g *GBRT) FeatureImportance() []float64 {
+	out := make([]float64, len(g.gains))
+	var total float64
+	for _, v := range g.gains {
+		total += v
+	}
+	if total <= 0 {
+		return out
+	}
+	for i, v := range g.gains {
+		out[i] = v / total
+	}
+	return out
+}
+
+// tree is a binary regression tree over float features.
+type tree struct {
+	feature     int
+	threshold   float64
+	left, right *tree
+	value       float64
+	leaf        bool
+}
+
+func (t *tree) predict(x []float64) float64 {
+	for !t.leaf {
+		if x[t.feature] <= t.threshold {
+			t = t.left
+		} else {
+			t = t.right
+		}
+	}
+	return t.value
+}
+
+// buildTree greedily grows a depth-limited regression tree on the subset
+// idx, accumulating split gains into gains (indexed by feature).
+func buildTree(x [][]float64, y []float64, idx []int, depth, minLeaf int, gains []float64) *tree {
+	if len(idx) == 0 {
+		return nil
+	}
+	var sum float64
+	for _, i := range idx {
+		sum += y[i]
+	}
+	mean := sum / float64(len(idx))
+	if depth == 0 || len(idx) < 2*minLeaf {
+		return &tree{leaf: true, value: mean}
+	}
+
+	bestGain := 0.0
+	bestFeat, bestIdx := -1, -1
+	var order []int
+	bestOrder := make([]int, len(idx))
+	d := len(x[0])
+
+	order = append(order[:0], idx...)
+	for f := 0; f < d; f++ {
+		fc := f
+		sort.Slice(order, func(a, b int) bool { return x[order[a]][fc] < x[order[b]][fc] })
+		// Prefix sums for O(n) split scan.
+		var lsum float64
+		var lcnt int
+		for k := 0; k < len(order)-1; k++ {
+			i := order[k]
+			lsum += y[i]
+			lcnt++
+			if lcnt < minLeaf || len(order)-lcnt < minLeaf {
+				continue
+			}
+			if x[order[k]][f] == x[order[k+1]][f] {
+				continue // cannot split between equal values
+			}
+			rsum := sum - lsum
+			rcnt := len(order) - lcnt
+			gain := lsum*lsum/float64(lcnt) + rsum*rsum/float64(rcnt) - sum*sum/float64(len(order))
+			if gain > bestGain+1e-12 {
+				bestGain = gain
+				bestFeat = f
+				bestIdx = k
+				copy(bestOrder, order)
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return &tree{leaf: true, value: mean}
+	}
+	gains[bestFeat] += bestGain
+
+	thr := (x[bestOrder[bestIdx]][bestFeat] + x[bestOrder[bestIdx+1]][bestFeat]) / 2
+	left := append([]int(nil), bestOrder[:bestIdx+1]...)
+	right := append([]int(nil), bestOrder[bestIdx+1:]...)
+	lt := buildTree(x, y, left, depth-1, minLeaf, gains)
+	rt := buildTree(x, y, right, depth-1, minLeaf, gains)
+	if lt == nil || rt == nil {
+		return &tree{leaf: true, value: mean}
+	}
+	return &tree{feature: bestFeat, threshold: thr, left: lt, right: rt}
+}

@@ -1,0 +1,163 @@
+package ml
+
+import (
+	"math"
+	"sort"
+)
+
+// SVROptions configure the linear epsilon-insensitive support vector
+// regressor trained by subgradient descent.
+type SVROptions struct {
+	// Epsilon is the insensitivity tube half-width on standardized targets
+	// (default 0.1).
+	Epsilon float64
+	// C is the slack weight (default 1).
+	C float64
+	// Iters is the number of epochs (default 300).
+	Iters int
+	// LearningRate is the initial step size (default 0.1).
+	LearningRate float64
+}
+
+// SVR is a linear ε-SVR: minimize ½|w|² + C·Σ max(0, |wᵀx+b − y| − ε).
+// Targets are standardized internally.
+type SVR struct {
+	opts        SVROptions
+	w           []float64
+	b           float64
+	yMean, yStd float64
+	dim         int
+}
+
+// NewSVR returns an untrained SVR with defaults filled in.
+func NewSVR(o SVROptions) *SVR {
+	if o.Epsilon <= 0 {
+		o.Epsilon = 0.1
+	}
+	if o.C <= 0 {
+		o.C = 1
+	}
+	if o.Iters <= 0 {
+		o.Iters = 300
+	}
+	if o.LearningRate <= 0 {
+		o.LearningRate = 0.1
+	}
+	return &SVR{opts: o}
+}
+
+// Name implements Regressor.
+func (s *SVR) Name() string { return "SVR" }
+
+// Fit implements Regressor.
+func (s *SVR) Fit(x [][]float64, y []float64) error {
+	d, err := checkXY(x, y)
+	if err != nil {
+		return err
+	}
+	s.dim = d
+	n := len(x)
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(n)
+	var sd float64
+	for _, v := range y {
+		sd += (v - mean) * (v - mean)
+	}
+	sd = math.Sqrt(sd / float64(n))
+	if sd < 1e-12 {
+		sd = 1
+	}
+	s.yMean, s.yStd = mean, sd
+
+	s.w = make([]float64, d)
+	s.b = 0
+	lam := 1 / (s.opts.C * float64(n))
+	for it := 0; it < s.opts.Iters; it++ {
+		lr := s.opts.LearningRate / (1 + 0.05*float64(it))
+		for i := 0; i < n; i++ {
+			t := (y[i] - mean) / sd
+			pred := dot(s.w, x[i]) + s.b
+			r := pred - t
+			var g float64
+			switch {
+			case r > s.opts.Epsilon:
+				g = 1
+			case r < -s.opts.Epsilon:
+				g = -1
+			}
+			for j := 0; j < d; j++ {
+				s.w[j] -= lr * (g*x[i][j] + lam*s.w[j])
+			}
+			s.b -= lr * g
+		}
+	}
+	return nil
+}
+
+// Predict implements Regressor.
+func (s *SVR) Predict(x []float64) float64 {
+	return (dot(s.w, x)+s.b)*s.yStd + s.yMean
+}
+
+// KNN is k-nearest-neighbor regression with inverse-distance weighting
+// (the paper's "KNNAR").
+type KNN struct {
+	k int
+	x [][]float64
+	y []float64
+}
+
+// NewKNN returns an untrained KNN regressor; k ≤ 0 defaults to 5.
+func NewKNN(k int) *KNN {
+	if k <= 0 {
+		k = 5
+	}
+	return &KNN{k: k}
+}
+
+// Name implements Regressor.
+func (k *KNN) Name() string { return "KNNAR" }
+
+// Fit implements Regressor (memorizes the training set).
+func (k *KNN) Fit(x [][]float64, y []float64) error {
+	if _, err := checkXY(x, y); err != nil {
+		return err
+	}
+	k.x = x
+	k.y = y
+	return nil
+}
+
+// Predict implements Regressor.
+func (k *KNN) Predict(q []float64) float64 {
+	type nb struct {
+		d float64
+		y float64
+	}
+	nbs := make([]nb, len(k.x))
+	for i := range k.x {
+		var d2 float64
+		for j := range k.x[i] {
+			if j < len(q) {
+				dd := k.x[i][j] - q[j]
+				d2 += dd * dd
+			}
+		}
+		nbs[i] = nb{d: math.Sqrt(d2), y: k.y[i]}
+	}
+	sort.Slice(nbs, func(a, b int) bool { return nbs[a].d < nbs[b].d })
+	kk := k.k
+	if kk > len(nbs) {
+		kk = len(nbs)
+	}
+	var num, den float64
+	for i := 0; i < kk; i++ {
+		w := 1 / (nbs[i].d + 1e-9)
+		num += w * nbs[i].y
+		den += w
+	}
+	return num / den
+}

@@ -1,0 +1,138 @@
+package sparksim
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"locat/internal/conf"
+)
+
+// StageCost is the component breakdown of one simulated stage — the
+// analogue of a Spark UI stage page. The stage's latency is the maximum of
+// the disk, network and CPU components plus scheduling overhead, the
+// straggler tail and the memory-thrash multiplier.
+type StageCost struct {
+	// Kind is "scan" or "shuffle".
+	Kind string
+	// Sec is the stage's total latency contribution.
+	Sec float64
+	// DiskSec, NetSec and CPUSec are the resource components; the stage is
+	// bound by the largest.
+	DiskSec, NetSec, CPUSec float64
+	// OverheadSec is scheduling: task waves plus driver dispatch.
+	OverheadSec float64
+	// TailSec is the skew straggler tail.
+	TailSec float64
+	// Waves is the number of task waves.
+	Waves int
+	// ShuffleMB and SpillMB are the bytes moved and spilled.
+	ShuffleMB, SpillMB float64
+	// Pressure is working set / execution memory per task; ThrashFactor is
+	// the resulting slowdown multiplier (1 = none).
+	Pressure, ThrashFactor float64
+}
+
+// Breakdown explains one query's simulated execution.
+type Breakdown struct {
+	// Query is the query name.
+	Query string
+	// Stages holds per-stage components in execution order.
+	Stages []StageCost
+	// GCSec is the JVM garbage-collection stall.
+	GCSec float64
+	// FixedSec is the configuration-independent planning/driver cost.
+	FixedSec float64
+	// TotalSec is the end-to-end noiseless latency.
+	TotalSec float64
+	// Broadcast reports whether the plan used a broadcast join.
+	Broadcast bool
+}
+
+// Explain returns the noiseless per-stage cost breakdown of one query under
+// configuration c at the given data size — the tool for understanding *why*
+// a configuration is slow (spilling? waves? GC? network?).
+func (s *Simulator) Explain(q Query, c conf.Config, dataGB float64) Breakdown {
+	e := deriveEnv(s.cluster, c)
+	scanMB := dataGB * 1024 * q.InputFrac
+	maxFieldsPenalty := 1.0
+	if c[conf.PCodegenMaxFields] < 100*q.CPUWeight {
+		maxFieldsPenalty = 1.06
+	}
+
+	bd := Breakdown{Query: q.Name}
+	var cpuWall, maxPressure float64
+
+	sc := scanStage(e, q, scanMB, maxFieldsPenalty)
+	bd.Stages = append(bd.Stages, toStageCost("scan", sc))
+	cpuWall += sc.cpuWallSec
+
+	broadcast := false
+	if q.Class == Join && q.SmallTableMB > 0 {
+		smallMB := q.SmallTableMB
+		if !q.DimSmall {
+			smallMB *= dataGB / 100
+		}
+		broadcast = smallMB*1024 <= e.broadcastKB
+	}
+	bd.Broadcast = broadcast
+
+	const stageDecay = 0.45
+	shufMB := scanMB * q.ShuffleFrac
+	for st := 1; st < q.Stages; st++ {
+		mb := shufMB * math.Pow(stageDecay, float64(st-1))
+		if st == 1 && broadcast {
+			mb *= 0.12
+		}
+		cost := shuffleStage(e, q, mb)
+		bd.Stages = append(bd.Stages, toStageCost("shuffle", cost))
+		cpuWall += cost.cpuWallSec
+		if cost.pressure > maxPressure {
+			maxPressure = cost.pressure
+		}
+	}
+
+	effPressure := maxPressure * e.heapShare
+	gcFrac := 0.03 + 0.11*math.Pow(math.Min(effPressure, 4), 1.8) + e.gcHeapPauseFactor
+	bd.GCSec = cpuWall * gcFrac
+	bd.FixedSec = q.FixedSec + e.fixedPerQuery
+	// Total mirrors simulateQuery (including the broadcast transfer cost,
+	// folded into FixedSec here for the breakdown view).
+	bd.TotalSec = s.NoiselessQueryTime(q, c, dataGB)
+	return bd
+}
+
+func toStageCost(kind string, c stageCost) StageCost {
+	return StageCost{
+		Kind:         kind,
+		Sec:          c.sec,
+		DiskSec:      c.diskSec,
+		NetSec:       c.netSec,
+		CPUSec:       c.cpuWallSec,
+		OverheadSec:  c.overheadSec,
+		TailSec:      c.tailSec,
+		Waves:        c.waves,
+		ShuffleMB:    c.shuffleMB,
+		SpillMB:      c.spillMB,
+		Pressure:     c.pressure,
+		ThrashFactor: c.thrashFactor,
+	}
+}
+
+// Render writes a human-readable explain plan.
+func (b *Breakdown) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s: %.1fs total (gc %.1fs, fixed %.1fs", b.Query, b.TotalSec, b.GCSec, b.FixedSec)
+	if b.Broadcast {
+		fmt.Fprint(w, ", broadcast join")
+	}
+	fmt.Fprintln(w, ")")
+	for i, st := range b.Stages {
+		fmt.Fprintf(w, "  stage %d (%s): %.1fs  disk=%.1f net=%.1f cpu=%.1f sched=%.1f tail=%.1f",
+			i, st.Kind, st.Sec, st.DiskSec, st.NetSec, st.CPUSec, st.OverheadSec, st.TailSec)
+		if st.Kind == "shuffle" {
+			fmt.Fprintf(w, "  shuffle=%.0fMB spill=%.0fMB pressure=%.2f thrash=%.1fx waves=%d",
+				st.ShuffleMB, st.SpillMB, st.Pressure, st.ThrashFactor, st.Waves)
+		}
+		fmt.Fprintln(w)
+	}
+}

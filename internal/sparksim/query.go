@@ -1,0 +1,102 @@
+package sparksim
+
+// QueryClass is the three-way taxonomy of Section 5.11: simple selections
+// are configuration-insensitive; joins and aggregations involve shuffles and
+// are sensitive in proportion to the data volume their shuffles move.
+type QueryClass int
+
+const (
+	// Selection queries scan and filter; they are bounded by aggregate disk
+	// bandwidth and a fixed planning cost, so configuration barely matters.
+	Selection QueryClass = iota
+	// Join queries shuffle both sides of each join (unless one side fits
+	// under spark.sql.autoBroadcastJoinThreshold).
+	Join
+	// Aggregation queries shuffle grouped partial aggregates.
+	Aggregation
+)
+
+// String returns the class name.
+func (c QueryClass) String() string {
+	switch c {
+	case Selection:
+		return "selection"
+	case Join:
+		return "join"
+	case Aggregation:
+		return "aggregation"
+	}
+	return "unknown"
+}
+
+// Query is the analytical profile of one Spark SQL query. The fields encode
+// the structural properties that determine how the query responds to
+// configuration changes; they play the role of the physical plan Spark SQL
+// would produce from the query text.
+type Query struct {
+	// Name is the query label, e.g. "Q72".
+	Name string
+	// Class is the Section 5.11 category.
+	Class QueryClass
+	// InputFrac is the fraction of the benchmark dataset the query scans
+	// (tables touched / total, after partition pruning).
+	InputFrac float64
+	// ShuffleFrac is the bytes shuffled by the first wide stage as a
+	// fraction of the scanned bytes. Q72 at 100 GB shuffles ~52 GB of
+	// ~60 GB scanned (paper Section 5.11) → ShuffleFrac ≈ 0.85 with
+	// InputFrac ≈ 0.6; Q08 shuffles ~5 MB → ShuffleFrac ≈ 1e-4.
+	ShuffleFrac float64
+	// Stages is the number of stages (Stages-1 shuffle boundaries).
+	// Selections have 1; deep join trees up to 6.
+	Stages int
+	// SmallTableMB is the size of the smallest build-side join table at
+	// 100 GB scale factor; it scales linearly with data size for fact-fact
+	// joins and stays constant for dimension tables (DimSmall). A join
+	// whose (scaled) small table fits under
+	// spark.sql.autoBroadcastJoinThreshold is executed as a broadcast join,
+	// skipping the big side's shuffle.
+	SmallTableMB float64
+	// DimSmall marks SmallTableMB as a dimension table (does not scale with
+	// the input data size).
+	DimSmall bool
+	// CPUWeight scales per-byte CPU cost (expression complexity, UDFs,
+	// window functions). 1.0 = plain scan+hash.
+	CPUWeight float64
+	// Skew in [0,1) is the key-skew severity: the straggler tail of each
+	// shuffle stage is proportional to it.
+	Skew float64
+	// FixedSec is the configuration-independent cost: planning, codegen,
+	// driver round trips.
+	FixedSec float64
+}
+
+// Application is an ordered set of queries executed back to back — the unit
+// LOCAT tunes (TPC-DS, TPC-H, or a single-query HiBench workload).
+type Application struct {
+	// Name is the benchmark name, e.g. "TPC-DS".
+	Name string
+	// Queries are executed in order; per-query latencies are recorded.
+	Queries []Query
+}
+
+// QueryNames returns the names of all queries in order.
+func (a *Application) QueryNames() []string {
+	out := make([]string, len(a.Queries))
+	for i, q := range a.Queries {
+		out[i] = q.Name
+	}
+	return out
+}
+
+// Subset returns a copy of the application containing only the queries
+// whose names are in keep (preserving order). QCSA uses this to build the
+// reduced query application (RQA).
+func (a *Application) Subset(keep map[string]bool) *Application {
+	out := &Application{Name: a.Name + "-RQA"}
+	for _, q := range a.Queries {
+		if keep[q.Name] {
+			out.Queries = append(out.Queries, q)
+		}
+	}
+	return out
+}

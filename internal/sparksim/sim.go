@@ -1,0 +1,217 @@
+package sparksim
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"locat/internal/conf"
+)
+
+// QueryResult is the outcome of executing one query once.
+type QueryResult struct {
+	// Name is the query name.
+	Name string
+	// Sec is the end-to-end query latency in seconds (includes GCSec).
+	Sec float64
+	// GCSec is the JVM garbage-collection stall time included in Sec.
+	GCSec float64
+	// ShuffleMB is the total bytes shuffled across all wide stages.
+	ShuffleMB float64
+	// SpillMB is the total bytes spilled to disk.
+	SpillMB float64
+	// MaxPressure is the peak task working-set / execution-memory ratio.
+	MaxPressure float64
+}
+
+// AppResult is the outcome of executing an application (all queries, in
+// order) once under a single configuration.
+type AppResult struct {
+	// Sec is the total application latency in seconds.
+	Sec float64
+	// GCSec is the total GC stall time.
+	GCSec float64
+	// Queries holds the per-query results in execution order.
+	Queries []QueryResult
+}
+
+// Simulator executes applications on a modeled cluster. Runs are stochastic
+// — a multiplicative lognormal per-query factor models task-level variance,
+// and a second per-run factor models whole-cluster state (page cache, JIT
+// warmth, co-located load) that shifts an entire application execution.
+// Both are fully determined by the simulator's seed and the sequence of
+// calls; two simulators constructed with the same seed and driven
+// identically produce identical results.
+type Simulator struct {
+	cluster  *Cluster
+	space    *conf.Space
+	noise    float64
+	runNoise float64
+	rng      *rand.Rand
+}
+
+// Option configures a Simulator.
+type Option func(*Simulator)
+
+// WithNoise sets the per-query noise (lognormal sigma). The default is
+// 0.15; zero makes queries deterministic up to the per-run factor.
+func WithNoise(sigma float64) Option {
+	return func(s *Simulator) { s.noise = sigma }
+}
+
+// WithRunNoise sets the per-run whole-application noise (lognormal sigma).
+// The default is 0.08; zero disables it.
+// WithNoise(0) together with WithRunNoise(0) makes runs fully deterministic.
+func WithRunNoise(sigma float64) Option {
+	return func(s *Simulator) { s.runNoise = sigma }
+}
+
+// New returns a simulator for the given cluster, seeded for reproducibility.
+func New(cluster *Cluster, seed int64, opts ...Option) *Simulator {
+	s := &Simulator{
+		cluster:  cluster,
+		space:    cluster.Space(),
+		noise:    0.15,
+		runNoise: 0.08,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Cluster returns the modeled cluster.
+func (s *Simulator) Cluster() *Cluster { return s.cluster }
+
+// Space returns the configuration space bound to the cluster.
+func (s *Simulator) Space() *conf.Space { return s.space }
+
+// RunQuery executes a single query under configuration c with the given
+// input data size (GB) and returns its result.
+func (s *Simulator) RunQuery(q Query, c conf.Config, dataGB float64) QueryResult {
+	e := deriveEnv(s.cluster, c)
+	r := simulateQuery(e, q, c, dataGB)
+	if s.noise > 0 {
+		f := math.Exp(s.rng.NormFloat64() * s.noise)
+		r.Sec *= f
+		r.GCSec *= f
+	}
+	return r
+}
+
+// RunApp executes every query of the application in order under
+// configuration c and returns per-query and total results. One per-run
+// cluster-state factor scales the whole execution on top of the per-query
+// noise.
+func (s *Simulator) RunApp(app *Application, c conf.Config, dataGB float64) AppResult {
+	runFactor := 1.0
+	if s.runNoise > 0 {
+		runFactor = math.Exp(s.rng.NormFloat64() * s.runNoise)
+	}
+	out := AppResult{Queries: make([]QueryResult, 0, len(app.Queries))}
+	for _, q := range app.Queries {
+		r := s.RunQuery(q, c, dataGB)
+		r.Sec *= runFactor
+		r.GCSec *= runFactor
+		out.Sec += r.Sec
+		out.GCSec += r.GCSec
+		out.Queries = append(out.Queries, r)
+	}
+	return out
+}
+
+// NoiselessQueryTime returns the deterministic (noise-free) latency of a
+// query under c — the model's ground truth, used by tests and by the
+// experiment harness when comparing tuned configurations.
+func (s *Simulator) NoiselessQueryTime(q Query, c conf.Config, dataGB float64) float64 {
+	e := deriveEnv(s.cluster, c)
+	return simulateQuery(e, q, c, dataGB).Sec
+}
+
+// NoiselessAppTime returns the deterministic total application latency.
+func (s *Simulator) NoiselessAppTime(app *Application, c conf.Config, dataGB float64) float64 {
+	e := deriveEnv(s.cluster, c)
+	var t float64
+	for _, q := range app.Queries {
+		t += simulateQuery(e, q, c, dataGB).Sec
+	}
+	return t
+}
+
+// simulateQuery runs the analytical cost model for one query.
+func simulateQuery(e env, q Query, c conf.Config, dataGB float64) QueryResult {
+	scanMB := dataGB * 1024 * q.InputFrac
+
+	// Codegen fallback penalty for wide plans with a small maxFields cap.
+	maxFieldsPenalty := 1.0
+	if c[conf.PCodegenMaxFields] < 100*q.CPUWeight {
+		maxFieldsPenalty = 1.06
+	}
+
+	res := QueryResult{Name: q.Name}
+	var totalSec, cpuWall, maxPressure float64
+
+	sc := scanStage(e, q, scanMB, maxFieldsPenalty)
+	totalSec += sc.sec
+	cpuWall += sc.cpuWallSec
+
+	// Broadcast-join decision: the (scaled) small table must fit under
+	// spark.sql.autoBroadcastJoinThreshold (KB).
+	broadcast := false
+	if q.Class == Join && q.SmallTableMB > 0 {
+		smallMB := q.SmallTableMB
+		if !q.DimSmall {
+			smallMB *= dataGB / 100
+		}
+		if smallMB*1024 <= e.broadcastKB {
+			broadcast = true
+			// Driver ships the table to every executor.
+			bcMB := smallMB
+			if e.broadcastCompress {
+				bcMB *= 0.5
+			}
+			bcT := bcMB * e.instances / e.aggNetMBps
+			bcT += (bcMB / e.broadcastBlockMB) * 0.0004 // per-block handling
+			totalSec += bcT
+		}
+	}
+
+	const stageDecay = 0.45
+	shufMB := scanMB * q.ShuffleFrac
+	for st := 1; st < q.Stages; st++ {
+		mb := shufMB * math.Pow(stageDecay, float64(st-1))
+		if st == 1 && broadcast {
+			// The big side stays map-local; only partial aggregates move.
+			mb *= 0.12
+		}
+		cost := shuffleStage(e, q, mb)
+		totalSec += cost.sec
+		cpuWall += cost.cpuWallSec
+		res.ShuffleMB += cost.shuffleMB
+		res.SpillMB += cost.spillMB
+		if cost.pressure > maxPressure {
+			maxPressure = cost.pressure
+		}
+	}
+
+	// JVM GC stall: grows superlinearly with heap pressure, plus a pause
+	// term for very large heaps. Off-heap memory shields its share of the
+	// working set from the collector.
+	effPressure := maxPressure * e.heapShare
+	gcFrac := 0.03 + 0.11*math.Pow(math.Min(effPressure, 4), 1.8) + e.gcHeapPauseFactor
+	gc := cpuWall * gcFrac
+
+	res.Sec = totalSec + gc + q.FixedSec + e.fixedPerQuery
+	res.GCSec = gc
+	res.MaxPressure = maxPressure
+	return res
+}
+
+// querySeed derives a stable per-query seed (used by tests that need
+// reproducible noise independent of call order).
+func querySeed(name string, seed int64) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return seed ^ int64(h.Sum64())
+}

@@ -1,0 +1,30 @@
+package stat
+
+import "math/rand"
+
+// LatinHypercube draws n samples in the d-dimensional unit cube using Latin
+// Hypercube Sampling: each dimension's [0,1) range is cut into n equal strata
+// and every stratum is hit exactly once, with strata assignments permuted
+// independently per dimension. LOCAT seeds its Bayesian optimization with
+// three LHS points (paper Section 3.4, "Start points").
+func LatinHypercube(n, d int, rng *rand.Rand) [][]float64 {
+	if n <= 0 || d <= 0 {
+		panic("stat: LatinHypercube requires n > 0 and d > 0")
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, d)
+	}
+	perm := make([]int, n)
+	for j := 0; j < d; j++ {
+		for i := range perm {
+			perm[i] = i
+		}
+		rng.Shuffle(n, func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+		for i := 0; i < n; i++ {
+			// Jittered position inside stratum perm[i].
+			out[i][j] = (float64(perm[i]) + rng.Float64()) / float64(n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package workloads
+
+import "locat/internal/sparksim"
+
+// HiBenchJoin returns the HiBench Join workload: a single two-phase
+// (Map + Reduce) join query over the full uservisits/rankings dataset.
+func HiBenchJoin() *sparksim.Application {
+	return &sparksim.Application{
+		Name: "Join",
+		Queries: []sparksim.Query{{
+			Name:         "join",
+			Class:        sparksim.Join,
+			InputFrac:    1.0,
+			ShuffleFrac:  0.55,
+			Stages:       3,
+			SmallTableMB: 12000, // rankings side scales with the dataset
+			CPUWeight:    1.8,
+			Skew:         0.30,
+			FixedSec:     1.0,
+		}},
+	}
+}
+
+// HiBenchScan returns the HiBench Scan workload: a single Map-only
+// "select" over the full dataset — the canonical configuration-insensitive
+// query (bounded by aggregate disk bandwidth).
+func HiBenchScan() *sparksim.Application {
+	return &sparksim.Application{
+		Name: "Scan",
+		Queries: []sparksim.Query{{
+			Name:        "scan",
+			Class:       sparksim.Selection,
+			InputFrac:   1.0,
+			ShuffleFrac: 0.0001,
+			Stages:      1,
+			CPUWeight:   0.9,
+			Skew:        0.02,
+			FixedSec:    1.0,
+		}},
+	}
+}
+
+// HiBenchAggregation returns the HiBench Aggregation workload: a single
+// Map + Reduce "group by" over the full dataset.
+func HiBenchAggregation() *sparksim.Application {
+	return &sparksim.Application{
+		Name: "Aggregation",
+		Queries: []sparksim.Query{{
+			Name:        "aggregation",
+			Class:       sparksim.Aggregation,
+			InputFrac:   1.0,
+			ShuffleFrac: 0.38,
+			Stages:      2,
+			CPUWeight:   1.5,
+			Skew:        0.20,
+			FixedSec:    1.0,
+		}},
+	}
+}

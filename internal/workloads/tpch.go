@@ -1,0 +1,67 @@
+package workloads
+
+import (
+	"fmt"
+
+	"locat/internal/sparksim"
+)
+
+// tpchHeavy pins the shuffle-heavy TPC-H queries: the deep multi-join
+// queries over lineitem/orders (Q5, Q7, Q8, Q9, Q17, Q18, Q21) dominate the
+// benchmark's configuration sensitivity.
+var tpchHeavy = map[string]sparksim.Query{
+	"Q05": {Class: sparksim.Join, InputFrac: 0.72, ShuffleFrac: 0.52, Stages: 5, SmallTableMB: 900, CPUWeight: 1.9, Skew: 0.25},
+	"Q07": {Class: sparksim.Join, InputFrac: 0.68, ShuffleFrac: 0.48, Stages: 4, SmallTableMB: 700, CPUWeight: 1.8, Skew: 0.22},
+	"Q08": {Class: sparksim.Join, InputFrac: 0.75, ShuffleFrac: 0.50, Stages: 5, SmallTableMB: 850, CPUWeight: 2.0, Skew: 0.24},
+	"Q09": {Class: sparksim.Join, InputFrac: 0.85, ShuffleFrac: 0.62, Stages: 5, SmallTableMB: 1200, CPUWeight: 2.3, Skew: 0.35},
+	"Q17": {Class: sparksim.Join, InputFrac: 0.66, ShuffleFrac: 0.45, Stages: 3, SmallTableMB: 500, CPUWeight: 1.6, Skew: 0.20},
+	"Q18": {Class: sparksim.Aggregation, InputFrac: 0.80, ShuffleFrac: 0.58, Stages: 4, CPUWeight: 2.1, Skew: 0.30},
+	"Q21": {Class: sparksim.Join, InputFrac: 0.78, ShuffleFrac: 0.55, Stages: 5, SmallTableMB: 950, CPUWeight: 2.2, Skew: 0.32},
+}
+
+// tpchLight pins the scan-dominated queries.
+var tpchLight = map[string]sparksim.Query{
+	// Q1: full lineitem scan with a tiny group-by (4 groups).
+	"Q01": {Class: sparksim.Aggregation, InputFrac: 0.72, ShuffleFrac: 0.0005, Stages: 2, CPUWeight: 1.3, Skew: 0.03},
+	// Q6: pure selection.
+	"Q06": {Class: sparksim.Selection, InputFrac: 0.72, ShuffleFrac: 0.0001, Stages: 1, CPUWeight: 0.8, Skew: 0.02},
+}
+
+// TPCH returns the 22-query TPC-H application profile.
+func TPCH() *sparksim.Application {
+	app := &sparksim.Application{Name: "TPC-H"}
+	for i := 1; i <= 22; i++ {
+		name := fmt.Sprintf("Q%02d", i)
+		var q sparksim.Query
+		switch {
+		case tpchHeavy[name].Stages != 0:
+			q = tpchHeavy[name]
+		case tpchLight[name].Stages != 0:
+			q = tpchLight[name]
+		default:
+			h := hashFloats("tpch-"+name, 6)
+			class := sparksim.Join
+			if h[5] < 0.4 {
+				class = sparksim.Aggregation
+			}
+			q = sparksim.Query{
+				Class:       class,
+				InputFrac:   lerp(0.08, 0.35, h[0]),
+				ShuffleFrac: lerp(0.004, 0.05, h[1]*h[1]),
+				Stages:      2 + int(h[2]*2),
+				CPUWeight:   lerp(0.9, 1.5, h[3]),
+				Skew:        lerp(0.02, 0.12, h[4]),
+			}
+			if class == sparksim.Join {
+				q.SmallTableMB = lerp(0.3, 25, h[4])
+				q.DimSmall = true
+			}
+		}
+		q.Name = name
+		if q.FixedSec == 0 {
+			q.FixedSec = 1.0
+		}
+		app.Queries = append(app.Queries, q)
+	}
+	return app
+}

@@ -1,0 +1,250 @@
+// Package locat is a from-scratch Go reproduction of LOCAT — the
+// low-overhead online configuration auto-tuner for Spark SQL applications of
+// Xin, Hwang and Yu (SIGMOD 2022) — together with every substrate the
+// paper's evaluation depends on: an analytical Spark SQL cluster simulator
+// (standing in for the paper's ARM and x86 clusters, see DESIGN.md),
+// the TPC-DS / TPC-H / HiBench workload profiles, a Gaussian-process
+// Bayesian-optimization stack, kernel PCA, and reimplementations of the
+// four baseline tuners (Tuneful, DAC, GBO-RL, QTune).
+//
+// The package is the public facade. A minimal session:
+//
+//	res, err := locat.Tune(locat.Options{
+//		Cluster:    "x86",
+//		Benchmark:  "TPC-H",
+//		DataSizeGB: 100,
+//	})
+//
+// res.BestParams maps Spark property names to tuned values; res.Overhead
+// reports the simulated cluster time the tuning consumed — the quantity the
+// paper calls optimization time.
+//
+// The paper's three techniques can be toggled individually (DisableQCSA,
+// DisableIICP, DisableDAGP) for ablation, the input data size may change
+// while tuning (Schedule) to exercise the datasize-aware Gaussian process,
+// and CompareBaselines runs the four SOTA tuners on the same problem.
+package locat
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"locat/internal/baselines"
+	"locat/internal/conf"
+	"locat/internal/core"
+	"locat/internal/sparksim"
+	"locat/internal/workloads"
+)
+
+// Options configure a tuning session.
+type Options struct {
+	// Cluster selects the simulated hardware: "arm" (four-node KUNPENG,
+	// 384 executor cores) or "x86" (eight-node Xeon, 140 executor cores).
+	// Default "arm".
+	Cluster string
+	// Benchmark is one of Benchmarks(): "TPC-DS", "TPC-H", "Join", "Scan",
+	// "Aggregation". Default "TPC-DS".
+	Benchmark string
+	// DataSizeGB is the target input size the tuned configuration is
+	// optimized and evaluated for. Default 100.
+	DataSizeGB float64
+	// Schedule, if non-nil, supplies the input size of each tuning run —
+	// the paper's online scenario where data grows while the application
+	// keeps running. The DAGP transfers observations across sizes.
+	Schedule func(run int) float64
+	// Seed makes the session reproducible. Default 1.
+	Seed int64
+	// NQCSA and NIICP override the paper's sample counts (30 and 20).
+	NQCSA, NIICP int
+	// MaxIterations caps the post-IICP Bayesian-optimization runs.
+	MaxIterations int
+	// DisableQCSA, DisableIICP and DisableDAGP switch off LOCAT's three
+	// techniques for ablation studies.
+	DisableQCSA, DisableIICP, DisableDAGP bool
+	// Quiet currently has no effect (reserved).
+	Quiet bool
+}
+
+// Result is the outcome of a tuning session.
+type Result struct {
+	// BestParams maps Spark property names to the tuned values. Boolean
+	// properties use 1 (true) / 0 (false).
+	BestParams map[string]float64
+	// TunedSeconds is the noiseless benchmark latency under the tuned
+	// configuration at the target size.
+	TunedSeconds float64
+	// DefaultSeconds is the latency under Spark defaults, for reference.
+	DefaultSeconds float64
+	// OverheadSeconds is the simulated cluster time consumed by tuning
+	// (the paper's optimization time).
+	OverheadSeconds float64
+	// Runs is the number of tuning executions (full application + RQA).
+	Runs int
+	// SensitiveQueries lists the configuration-sensitive queries QCSA kept
+	// (nil when QCSA is disabled).
+	SensitiveQueries []string
+	// ImportantParams lists the parameters IICP selected for tuning
+	// (nil when IICP is disabled).
+	ImportantParams []string
+	// Elapsed is the wall-clock time of the session.
+	Elapsed time.Duration
+
+	best conf.Config
+}
+
+// SparkConf renders the tuned configuration in spark-defaults.conf syntax,
+// ready to drop into a cluster's conf directory.
+func (r *Result) SparkConf() string {
+	var b strings.Builder
+	// FormatSparkConf only errors on malformed configs, which Tune never
+	// produces.
+	_ = conf.FormatSparkConf(&b, r.best)
+	return b.String()
+}
+
+// Benchmarks returns the supported benchmark names (Table 1).
+func Benchmarks() []string {
+	return []string{"TPC-DS", "TPC-H", "Join", "Scan", "Aggregation"}
+}
+
+// Clusters returns the supported cluster names.
+func Clusters() []string { return []string{"arm", "x86"} }
+
+// clusterByName resolves a cluster name.
+func clusterByName(name string) (*sparksim.Cluster, error) {
+	switch name {
+	case "", "arm":
+		return sparksim.ARM(), nil
+	case "x86":
+		return sparksim.X86(), nil
+	}
+	return nil, fmt.Errorf("locat: unknown cluster %q (want arm or x86)", name)
+}
+
+func (o *Options) normalize() error {
+	if o.Benchmark == "" {
+		o.Benchmark = "TPC-DS"
+	}
+	if o.DataSizeGB == 0 {
+		o.DataSizeGB = 100
+	}
+	if o.DataSizeGB < 0 {
+		return errors.New("locat: negative data size")
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return nil
+}
+
+// Tune runs the full LOCAT pipeline (QCSA → IICP → BO with DAGP) and
+// returns the tuned configuration and its cost accounting.
+func Tune(o Options) (*Result, error) {
+	if err := o.normalize(); err != nil {
+		return nil, err
+	}
+	cl, err := clusterByName(o.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	app, err := workloads.ByName(o.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	sim := sparksim.New(cl, o.Seed)
+
+	opts := core.DefaultOptions()
+	opts.Seed = o.Seed
+	if o.NQCSA > 0 {
+		opts.NQCSA = o.NQCSA
+	}
+	if o.NIICP > 0 {
+		opts.NIICP = o.NIICP
+	}
+	if o.MaxIterations > 0 {
+		opts.MaxIter = o.MaxIterations
+	}
+	opts.UseQCSA = !o.DisableQCSA
+	opts.UseIICP = !o.DisableIICP
+	opts.UseDAGP = !o.DisableDAGP
+	opts.DataSchedule = o.Schedule
+
+	start := time.Now()
+	rep, err := core.New(sim, app, opts).Tune(o.DataSizeGB)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		best:            rep.Best,
+		BestParams:      paramsToMap(rep.Best),
+		TunedSeconds:    rep.TunedSec,
+		DefaultSeconds:  sim.NoiselessAppTime(app, cl.Space().Default(), o.DataSizeGB),
+		OverheadSeconds: rep.OverheadSec,
+		Runs:            rep.Evaluations(),
+		Elapsed:         time.Since(start),
+	}
+	if rep.QCSA != nil {
+		res.SensitiveQueries = append([]string(nil), rep.QCSA.Sensitive...)
+	}
+	if rep.IICP != nil {
+		params := conf.Params()
+		for _, j := range rep.IICP.Important {
+			res.ImportantParams = append(res.ImportantParams, params[j].Name)
+		}
+	}
+	return res, nil
+}
+
+// BaselineResult is one SOTA tuner's outcome on the same problem.
+type BaselineResult struct {
+	// Tuner is "Tuneful", "DAC", "GBO-RL" or "QTune".
+	Tuner string
+	// TunedSeconds and OverheadSeconds mirror Result.
+	TunedSeconds    float64
+	OverheadSeconds float64
+	// Runs is the number of full-application executions.
+	Runs int
+}
+
+// CompareBaselines tunes the same (cluster, benchmark, size) problem with
+// the four state-of-the-art baseline tuners the paper compares against.
+func CompareBaselines(o Options) ([]BaselineResult, error) {
+	if err := o.normalize(); err != nil {
+		return nil, err
+	}
+	cl, err := clusterByName(o.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	app, err := workloads.ByName(o.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	var out []BaselineResult
+	for _, bt := range baselines.All() {
+		sim := sparksim.New(cl, o.Seed)
+		rep, err := bt.Tune(sim, app, o.DataSizeGB, o.Seed+7)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, BaselineResult{
+			Tuner:           rep.Tuner,
+			TunedSeconds:    rep.TunedSec,
+			OverheadSeconds: rep.OverheadSec,
+			Runs:            rep.Runs,
+		})
+	}
+	return out, nil
+}
+
+// paramsToMap converts a configuration vector to a name→value map.
+func paramsToMap(c conf.Config) map[string]float64 {
+	out := make(map[string]float64, len(c))
+	for i, p := range conf.Params() {
+		out[p.Name] = c[i]
+	}
+	return out
+}

@@ -181,6 +181,7 @@ func BenchmarkAblationDAGP(b *testing.B) {
 		o := Options{
 			Benchmark: "TPC-H", DataSizeGB: 300, Schedule: sched,
 			Seed: int64(i + 1), NQCSA: 10, NIICP: 8, MaxIterations: 8,
+			Quiet: true,
 		}
 		r1, err := Tune(o)
 		if err != nil {

@@ -1,0 +1,90 @@
+// Command locat-serve runs the LOCAT tuning service: a long-running HTTP
+// server with a pool of concurrent tuning sessions and a persistent
+// history store that warm-starts sessions for workloads similar to past
+// ones.
+//
+// Usage:
+//
+//	locat-serve -addr :8080 -store ./locat-history -workers 4
+//
+// API (JSON unless noted):
+//
+//	POST   /v1/jobs            submit {"cluster","benchmark","data_size_gb",...}
+//	GET    /v1/jobs            list jobs
+//	GET    /v1/jobs/{id}       job status
+//	GET    /v1/jobs/{id}/result  finished job's result
+//	GET    /v1/jobs/{id}/conf    tuned spark-defaults.conf (text/plain)
+//	DELETE /v1/jobs/{id}       cancel
+//	GET    /v1/history         history-store summaries
+//	GET    /v1/history/{key}   entries under one workload fingerprint
+//	GET    /healthz            liveness and pool occupancy
+//
+// Example session:
+//
+//	curl -s -XPOST localhost:8080/v1/jobs -d '{"benchmark":"TPC-H","data_size_gb":100}'
+//	curl -s localhost:8080/v1/jobs/job-000001
+//	curl -s localhost:8080/v1/jobs/job-000001/conf
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"locat"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		store   = flag.String("store", "", "history-store directory (empty: in-memory, lost on exit)")
+		workers = flag.Int("workers", 2, "maximum concurrent tuning sessions")
+		quiet   = flag.Bool("quiet", false, "suppress the progress log")
+	)
+	flag.Parse()
+
+	svc, err := locat.NewService(locat.ServiceOptions{
+		Workers:    *workers,
+		HistoryDir: *store,
+		Quiet:      *quiet,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "locat-serve:", err)
+		os.Exit(1)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "locat-serve: listening on %s (workers=%d, store=%s)\n",
+		*addr, *workers, storeDesc(*store))
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "locat-serve:", err)
+			os.Exit(1)
+		}
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "locat-serve: %s, draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		_ = srv.Shutdown(ctx)
+		cancel()
+		svc.Close()
+	}
+}
+
+func storeDesc(dir string) string {
+	if dir == "" {
+		return "in-memory"
+	}
+	return dir
+}

@@ -24,6 +24,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		compare = flag.Bool("compare", false, "also tune with the four SOTA baselines")
 		quick   = flag.Bool("quick", false, "reduced budgets for a fast demo")
+		quiet   = flag.Bool("quiet", false, "suppress the progress log on stderr")
 		out     = flag.String("o", "", "write the tuned configuration to this spark-defaults.conf file")
 	)
 	flag.Parse()
@@ -33,6 +34,7 @@ func main() {
 		Benchmark:  *bench,
 		DataSizeGB: *size,
 		Seed:       *seed,
+		Quiet:      *quiet,
 	}
 	if *quick {
 		o.NQCSA, o.NIICP, o.MaxIterations = 12, 10, 10
@@ -50,6 +52,8 @@ func main() {
 		res.TunedSeconds, res.DefaultSeconds/res.TunedSeconds)
 	fmt.Printf("  tuning overhead : %8.1f h over %d runs (wall: %s)\n",
 		res.OverheadSeconds/3600, res.Runs, res.Elapsed.Round(1e6))
+	fmt.Printf("    sampling      : %8.1f h   search: %.1f h\n",
+		res.SamplingSeconds/3600, res.SearchSeconds/3600)
 	if res.SensitiveQueries != nil {
 		fmt.Printf("  QCSA kept %d configuration-sensitive queries\n", len(res.SensitiveQueries))
 	}

@@ -1,0 +1,3 @@
+module locat
+
+go 1.24

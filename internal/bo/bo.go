@@ -76,6 +76,10 @@ type Options struct {
 	// reusing the previous posterior samples in between (0 or 1 = every
 	// iteration).
 	HyperEvery int
+	// Stop, if non-nil, is polled before every evaluation; returning true
+	// aborts the loop immediately (the partial Result is still valid).
+	// LOCAT's tuning service uses it for cooperative job cancellation.
+	Stop func() bool
 }
 
 // DefaultOptions mirror the paper's settings.
@@ -149,9 +153,11 @@ func Minimize(p Problem, opts Options) Result {
 		}
 	}
 
+	stopped := func() bool { return opts.Stop != nil && opts.Stop() }
+
 	// Warm start: LHS over the decision cube.
 	for _, x := range stat.LatinHypercube(opts.InitPoints, p.Dim, rng) {
-		if res.Evals >= opts.MaxIter {
+		if res.Evals >= opts.MaxIter || stopped() {
 			break
 		}
 		record(x, ctxAt(res.Evals), 0)
@@ -160,7 +166,7 @@ func Minimize(p Problem, opts Options) Result {
 	// BO iterations.
 	var hypers []gp.Hyper
 	iterSinceSample := 0
-	for res.Evals < opts.MaxIter {
+	for res.Evals < opts.MaxIter && !stopped() {
 		xs, ys := modelData(trimHistory(res.History, opts.MaxModelPoints))
 		if hypers == nil || opts.HyperEvery <= 1 || iterSinceSample >= opts.HyperEvery {
 			hypers = gp.SampleHyper(xs, ys, opts.MCMCSamples, rng)

@@ -15,6 +15,13 @@
 //
 // All three techniques can be disabled independently for the paper's
 // ablations (Figures 15 and 21).
+//
+// Beyond the within-session pipeline, the tuner accepts a Prior — QCSA /
+// IICP artifacts and observations retrieved from past sessions on similar
+// workloads. With a sufficient prior the expensive phase-1 sample
+// collection shrinks to a handful of anchor runs: the DAGP transfers the
+// retrieved cross-size observations to the current target size, which is
+// what the tuning service's history store exploits to warm-start sessions.
 package core
 
 import (
@@ -26,9 +33,48 @@ import (
 	"locat/internal/conf"
 	"locat/internal/dagp"
 	"locat/internal/iicp"
+	"locat/internal/progress"
 	"locat/internal/qcsa"
 	"locat/internal/sparksim"
 )
+
+// ErrStopped is returned by Tune when the Stop hook interrupts the session
+// between evaluations.
+var ErrStopped = errors.New("core: tuning stopped")
+
+// minWarmObs is the smallest prior-observation count that activates the
+// warm-start path; below it the prior cannot support a trustworthy
+// surrogate and the session runs cold.
+const minWarmObs = 5
+
+// PriorObs is one observation retrieved from a past tuning session.
+type PriorObs struct {
+	// Conf is the full configuration that was executed.
+	Conf conf.Config
+	// DataGB is the input size the observation was taken at. The DAGP
+	// transfers it to the current target size (Section 3.4).
+	DataGB float64
+	// Sec is the observed full-application latency.
+	Sec float64
+	// QuerySecs holds the per-query latencies of the run; warm-started
+	// sessions use them to re-express the observation on the scale of the
+	// current reduced query application.
+	QuerySecs map[string]float64
+}
+
+// Prior carries knowledge retrieved from past sessions on similar
+// workloads: raw observations plus the QCSA / IICP analysis artifacts that
+// let a new session skip sample collection.
+type Prior struct {
+	// Obs are past observations (any data sizes; the DAGP bridges them).
+	Obs []PriorObs
+	// Sensitive, when non-empty, is a past session's QCSA result: the
+	// configuration-sensitive query names the RQA keeps.
+	Sensitive []string
+	// Important, when non-empty, is a past session's IICP result: the
+	// parameter indices phase-2 optimization is restricted to.
+	Important []int
+}
 
 // Options configure the LOCAT tuner.
 type Options struct {
@@ -57,6 +103,24 @@ type Options struct {
 	// i-th tuning run — the paper's online scenario where the size changes
 	// over time. Nil runs everything at the Tune target size.
 	DataSchedule func(run int) float64
+	// Prior, if non-nil and holding at least minWarmObs observations,
+	// warm-starts the session: phase-1 sample collection shrinks to
+	// WarmFreshRuns anchor executions and QCSA / IICP reuse the prior
+	// artifacts (re-analysing only what the prior lacks). Requires UseDAGP —
+	// transferring observations taken at other data sizes is exactly what
+	// the datasize feature is for — and is ignored otherwise.
+	Prior *Prior
+	// WarmFreshRuns is the number of fresh full-application anchor runs a
+	// warm-started session still executes (default 4). They ground the
+	// surrogate in the session's current cluster conditions.
+	WarmFreshRuns int
+	// Stop, if non-nil, is polled between evaluations; returning true
+	// aborts the session and Tune returns ErrStopped. The tuning service
+	// uses it for cooperative job cancellation.
+	Stop func() bool
+	// Logf, if non-nil, receives progress lines (phase transitions, run
+	// counts, stop-condition firings).
+	Logf progress.Logf
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -88,6 +152,10 @@ type Eval struct {
 	Sec float64
 	// FullApp distinguishes phase-1 full-application runs from RQA runs.
 	FullApp bool
+	// QuerySecs holds the per-query latencies of the run. The history
+	// store persists them so future sessions can re-express the
+	// observation on any RQA scale.
+	QuerySecs map[string]float64
 }
 
 // Report is the outcome of a Tune call.
@@ -98,11 +166,24 @@ type Report struct {
 	// target size — the quantity the paper's speedup figures compare.
 	TunedSec float64
 	// OverheadSec is the total simulated cluster time consumed while
-	// tuning — the paper's "optimization time".
+	// tuning — the paper's "optimization time". It always equals
+	// SamplingSec + SearchSec.
 	OverheadSec float64
+	// SamplingSec is the overhead of phase 1 (full-application sample
+	// collection — or the anchor runs of a warm-started session).
+	SamplingSec float64
+	// SearchSec is the overhead of phase 2 (subspace BO on the RQA).
+	SearchSec float64
 	// FullRuns and RQARuns count the tuning executions by kind.
 	FullRuns, RQARuns int
-	// QCSA and IICP hold the analysis artifacts (nil when disabled).
+	// WarmStarted reports whether the session consumed a Prior instead of
+	// collecting the full phase-1 sample set.
+	WarmStarted bool
+	// PriorObsUsed is the number of prior observations injected (0 cold).
+	PriorObsUsed int
+	// QCSA and IICP hold the analysis artifacts (nil when disabled). A
+	// warm-started session that reused prior artifacts synthesizes minimal
+	// results carrying the reused Sensitive / Important sets.
 	QCSA *qcsa.Result
 	IICP *iicp.Result
 	// History records every tuning run in order.
@@ -136,7 +217,33 @@ func New(sim *sparksim.Simulator, app *sparksim.Application, opts Options) *Tune
 	if opts.MCMCSamples <= 0 {
 		opts.MCMCSamples = 5
 	}
+	if opts.WarmFreshRuns <= 0 {
+		opts.WarmFreshRuns = 4
+	}
 	return &Tuner{sim: sim, app: app, opts: opts}
+}
+
+func (t *Tuner) logf(format string, args ...any) { progress.F(t.opts.Logf, format, args...) }
+
+func (t *Tuner) stopped() bool { return t.opts.Stop != nil && t.opts.Stop() }
+
+// warmPrior returns the usable prior, or nil when the session must run cold.
+func (t *Tuner) warmPrior() *Prior {
+	p := t.opts.Prior
+	if p == nil || len(p.Obs) < minWarmObs || !t.opts.UseDAGP {
+		return nil
+	}
+	return p
+}
+
+// querySecs flattens per-query results into the name→latency map the
+// history store persists.
+func querySecs(run sparksim.AppResult) map[string]float64 {
+	out := make(map[string]float64, len(run.Queries))
+	for _, qr := range run.Queries {
+		out[qr.Name] += qr.Sec
+	}
+	return out
 }
 
 // Tune searches for the configuration minimizing the application latency at
@@ -159,38 +266,97 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 		}
 		return dagp.Ctx(sizeOf(run))
 	}
+	priorCtx := func(dataGB float64) []float64 {
+		if !t.opts.UseDAGP {
+			return nil
+		}
+		return dagp.Ctx(dataGB)
+	}
 
-	// ---- Phase 1: full-application BO with DAGP (sample collection). ----
+	// ---- Phase 1: collect full-application samples. ----
+	// Cold sessions run the paper's N_QCSA-iteration BO-with-DAGP loop.
+	// Warm sessions inherit prior observations and run only a few fresh
+	// anchor executions — the overhead reduction the history store buys.
 	var phase1Runs []sparksim.AppResult
 	var samples []iicp.Sample
-	p1 := bo.Problem{
-		Dim: space.Dim(),
-		Eval: func(x, ctx []float64) float64 {
-			c := space.Decode(x)
-			ds := sizeOf(rep.Evaluations())
-			run := t.sim.RunApp(t.app, c, ds)
-			rep.OverheadSec += run.Sec
-			rep.FullRuns++
-			rep.History = append(rep.History, Eval{Conf: c, DataGB: ds, Sec: run.Sec, FullApp: true})
-			phase1Runs = append(phase1Runs, run)
-			samples = append(samples, iicp.Sample{Conf: c, Sec: run.Sec})
-			return run.Sec
-		},
-		Context: func(it int) []float64 { return ctxOf(rep.Evaluations()) },
+	runFull := func(c conf.Config) float64 {
+		ds := sizeOf(rep.Evaluations())
+		run := t.sim.RunApp(t.app, c, ds)
+		rep.OverheadSec += run.Sec
+		rep.SamplingSec += run.Sec
+		rep.FullRuns++
+		rep.History = append(rep.History, Eval{
+			Conf: c, DataGB: ds, Sec: run.Sec, FullApp: true, QuerySecs: querySecs(run),
+		})
+		phase1Runs = append(phase1Runs, run)
+		samples = append(samples, iicp.Sample{Conf: c, Sec: run.Sec})
+		return run.Sec
 	}
-	// A third of the sample-collection budget goes to space-filling LHS so
-	// the QCSA/IICP statistics see uncorrelated coverage; the rest is
-	// EI-guided ("BO with DAGP", Figure 4) and begins improving the
-	// incumbent early.
-	p1res := bo.Minimize(p1, bo.Options{
-		InitPoints:  t.opts.NQCSA / 3,
-		MinIter:     t.opts.NQCSA, // phase 1 always collects the full sample set
-		MaxIter:     t.opts.NQCSA,
-		EIStopFrac:  0, // no early stop while collecting samples
-		MCMCSamples: t.opts.MCMCSamples,
-		Candidates:  400,
-		Seed:        t.opts.Seed,
-	})
+
+	prior := t.warmPrior()
+	var p1res bo.Result
+	if prior == nil {
+		t.logf("phase 1: collecting %d full-application samples (cold start)", t.opts.NQCSA)
+		p1 := bo.Problem{
+			Dim:     space.Dim(),
+			Eval:    func(x, ctx []float64) float64 { return runFull(space.Decode(x)) },
+			Context: func(it int) []float64 { return ctxOf(rep.Evaluations()) },
+		}
+		// A third of the sample-collection budget goes to space-filling LHS
+		// so the QCSA/IICP statistics see uncorrelated coverage; the rest is
+		// EI-guided ("BO with DAGP", Figure 4) and begins improving the
+		// incumbent early.
+		p1res = bo.Minimize(p1, bo.Options{
+			InitPoints:  t.opts.NQCSA / 3,
+			MinIter:     t.opts.NQCSA, // phase 1 always collects the full sample set
+			MaxIter:     t.opts.NQCSA,
+			EIStopFrac:  0, // no early stop while collecting samples
+			MCMCSamples: t.opts.MCMCSamples,
+			Candidates:  400,
+			Seed:        t.opts.Seed,
+			Stop:        t.opts.Stop,
+		})
+	} else {
+		rep.WarmStarted = true
+		rep.PriorObsUsed = len(prior.Obs)
+		fresh := min(t.opts.WarmFreshRuns, t.opts.NQCSA)
+		t.logf("phase 1: warm start from %d prior observations, %d fresh anchor runs",
+			len(prior.Obs), fresh)
+		rng := rand.New(rand.NewSource(t.opts.Seed))
+		for _, c := range space.LHS(fresh, rng) {
+			if t.stopped() {
+				return nil, ErrStopped
+			}
+			runFull(c)
+		}
+		// Prior observations and the fresh anchors together form the
+		// phase-1 history the DAGP base selection and the phase-2 warm
+		// start consume.
+		p1res.BestY = math.Inf(1)
+		for _, ob := range prior.Obs {
+			p1res.History = append(p1res.History, bo.Step{
+				X:   space.Encode(ob.Conf),
+				Ctx: priorCtx(ob.DataGB),
+				Y:   ob.Sec,
+			})
+		}
+		for _, e := range rep.History {
+			p1res.History = append(p1res.History, bo.Step{
+				X:   space.Encode(e.Conf),
+				Ctx: priorCtx(e.DataGB),
+				Y:   e.Sec,
+			})
+		}
+		for _, s := range p1res.History {
+			if s.Y < p1res.BestY {
+				p1res.BestY = s.Y
+				p1res.BestX = s.X
+			}
+		}
+	}
+	if t.stopped() {
+		return nil, ErrStopped
+	}
 
 	// ---- QCSA: build the reduced query application. ----
 	target := t.app
@@ -200,25 +366,48 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 	}
 	keep := keepAll
 	if t.opts.UseQCSA {
-		qres, err := qcsa.Analyze(t.app, phase1Runs)
-		if err != nil {
-			return nil, err
-		}
-		rep.QCSA = qres
-		target = qres.RQA
-		keep = map[string]bool{}
-		for _, n := range qres.Sensitive {
-			keep[n] = true
+		if prior != nil && len(prior.Sensitive) > 0 {
+			// Reuse the past session's sensitivity analysis verbatim.
+			keep = map[string]bool{}
+			for _, n := range prior.Sensitive {
+				keep[n] = true
+			}
+			rqa := t.app.Subset(keep)
+			rep.QCSA = &qcsa.Result{
+				Sensitive: append([]string(nil), prior.Sensitive...),
+				RQA:       rqa,
+			}
+			target = rqa
+			t.logf("qcsa: reusing %d sensitive queries from prior session", len(prior.Sensitive))
+		} else {
+			qres, err := qcsa.Analyze(t.app, phase1Runs)
+			if err != nil {
+				return nil, err
+			}
+			rep.QCSA = qres
+			target = qres.RQA
+			keep = map[string]bool{}
+			for _, n := range qres.Sensitive {
+				keep[n] = true
+			}
+			t.logf("qcsa: kept %d/%d configuration-sensitive queries",
+				len(qres.Sensitive), len(t.app.Queries))
 		}
 	}
-	rqaSec := func(run sparksim.AppResult) float64 {
+	rqaSec := func(qs map[string]float64, total float64) (float64, bool) {
+		if !t.opts.UseQCSA {
+			return total, true
+		}
+		if qs == nil {
+			return 0, false
+		}
 		var s float64
-		for _, qr := range run.Queries {
-			if keep[qr.Name] {
-				s += qr.Sec
+		for n, sec := range qs {
+			if keep[n] {
+				s += sec
 			}
 		}
-		return s
+		return s, true
 	}
 
 	// ---- IICP: restrict the search space to important parameters. ----
@@ -228,15 +417,34 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 	bestPhase1 := space.Decode(t.bestOfHistory(p1res, targetGB))
 	tuneIdx := allIndices(space.Dim())
 	if t.opts.UseIICP {
-		iopts := iicp.DefaultOptions()
-		iopts.SCCCutoff = t.opts.SCCCutoff
-		ires, err := iicp.Analyze(space, samples[:min(t.opts.NIICP, len(samples))], iopts)
-		if err != nil {
-			return nil, err
-		}
-		rep.IICP = ires
-		if len(ires.Important) > 0 {
-			tuneIdx = ires.Important
+		if prior != nil && len(prior.Important) > 0 {
+			tuneIdx = append([]int(nil), prior.Important...)
+			rep.IICP = &iicp.Result{Important: append([]int(nil), prior.Important...)}
+			t.logf("iicp: reusing %d important parameters from prior session", len(tuneIdx))
+		} else {
+			isamples := samples
+			if prior != nil {
+				// A warm session's few anchors are not enough for stable
+				// parameter statistics; fold the prior observations in.
+				for _, ob := range prior.Obs {
+					isamples = append(isamples, iicp.Sample{Conf: ob.Conf, Sec: ob.Sec})
+				}
+			}
+			iopts := iicp.DefaultOptions()
+			iopts.SCCCutoff = t.opts.SCCCutoff
+			n := t.opts.NIICP
+			if prior != nil {
+				n = len(isamples)
+			}
+			ires, err := iicp.Analyze(space, isamples[:min(n, len(isamples))], iopts)
+			if err != nil {
+				return nil, err
+			}
+			rep.IICP = ires
+			if len(ires.Important) > 0 {
+				tuneIdx = ires.Important
+			}
+			t.logf("iicp: selected %d important parameters", len(tuneIdx))
 		}
 	}
 	sub, err := conf.NewSubspace(space, bestPhase1, tuneIdx)
@@ -244,19 +452,26 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 		return nil, err
 	}
 
-	// Warm-start phase 2 with phase-1 observations re-expressed on the RQA
-	// scale (per-query latencies were recorded, so the RQA portion of every
-	// phase-1 run is known exactly).
+	// Warm-start phase 2 with every known observation re-expressed on the
+	// RQA scale (per-query latencies are recorded, so the RQA portion of a
+	// full run is known exactly; prior observations lacking per-query data
+	// are dropped rather than mis-scaled).
 	var init []bo.Step
-	for i, run := range phase1Runs {
-		init = append(init, bo.Step{
-			X:   sub.Encode(rep.History[i].Conf),
-			Ctx: ctxOf(i),
-			Y:   rqaSec(run),
-		})
+	if prior != nil {
+		for _, ob := range prior.Obs {
+			if y, ok := rqaSec(ob.QuerySecs, ob.Sec); ok {
+				init = append(init, bo.Step{X: sub.Encode(ob.Conf), Ctx: priorCtx(ob.DataGB), Y: y})
+			}
+		}
+	}
+	for _, e := range rep.History {
+		if y, ok := rqaSec(e.QuerySecs, e.Sec); ok {
+			init = append(init, bo.Step{X: sub.Encode(e.Conf), Ctx: priorCtx(e.DataGB), Y: y})
+		}
 	}
 
 	// ---- Phase 2: BO over the important-parameter subspace on the RQA. ----
+	t.logf("phase 2: subspace BO over %d parameters (%d warm observations)", sub.Dim(), len(init))
 	p2 := bo.Problem{
 		Dim: sub.Dim(),
 		Eval: func(x, ctx []float64) float64 {
@@ -264,12 +479,15 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 			ds := sizeOf(rep.Evaluations())
 			run := t.sim.RunApp(target, c, ds)
 			rep.OverheadSec += run.Sec
+			rep.SearchSec += run.Sec
 			if t.opts.UseQCSA {
 				rep.RQARuns++
 			} else {
 				rep.FullRuns++
 			}
-			rep.History = append(rep.History, Eval{Conf: c, DataGB: ds, Sec: run.Sec, FullApp: !t.opts.UseQCSA})
+			rep.History = append(rep.History, Eval{
+				Conf: c, DataGB: ds, Sec: run.Sec, FullApp: !t.opts.UseQCSA, QuerySecs: querySecs(run),
+			})
 			return run.Sec
 		},
 		Context: func(it int) []float64 { return ctxOf(rep.Evaluations()) },
@@ -283,27 +501,27 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 		Candidates:  800,
 		Init:        init,
 		Seed:        t.opts.Seed + 1,
+		Stop:        t.opts.Stop,
 	})
+	if t.stopped() {
+		return nil, ErrStopped
+	}
 
 	// ---- Final selection. ----
-	rep.Best = t.pickBest(space, sub, p2res, targetGB)
+	rep.Best = t.pickBest(sub, p2res, targetGB)
 	rep.TunedSec = t.sim.NoiselessAppTime(t.app, rep.Best, targetGB)
+	t.logf("done: %d runs, %.0f s overhead (%.0f sampling + %.0f search), tuned latency %.0f s",
+		rep.Evaluations(), rep.OverheadSec, rep.SamplingSec, rep.SearchSec, rep.TunedSec)
 	return rep, nil
 }
 
-// pickBest chooses the final configuration. Without DAGP the best observed
-// RQA point wins; with DAGP the surrogate's posterior mean at the target
-// size ranks every evaluated point, which both de-noises the selection
-// (single runs are noisy; the GP pools information across neighbours) and
-// transfers observations taken at other data sizes to the target size
-// (Section 3.4's online adaptation).
-func (t *Tuner) pickBest(space *conf.Space, sub *conf.Subspace, res bo.Result, targetGB float64) conf.Config {
-	if !t.opts.UseDAGP {
-		return sub.Decode(res.BestX)
-	}
-	rng := rand.New(rand.NewSource(t.opts.Seed + 2))
+// dagpRank fits a DAGP on the steps and returns the decision point with the
+// lowest posterior mean at targetGB — the de-noised, size-transferred
+// incumbent. ok is false when the model cannot be fitted.
+func dagpRank(hist []bo.Step, targetGB float64, seed int64) (best []float64, ok bool) {
+	rng := rand.New(rand.NewSource(seed))
 	var ds []dagp.Sample
-	for _, s := range res.History {
+	for _, s := range hist {
 		size := targetGB
 		if len(s.Ctx) > 0 {
 			size = s.Ctx[0] * dagp.ScaleGB
@@ -312,17 +530,32 @@ func (t *Tuner) pickBest(space *conf.Space, sub *conf.Subspace, res bo.Result, t
 	}
 	model, err := dagp.Fit(ds, rng)
 	if err != nil {
-		return sub.Decode(res.BestX)
+		return nil, false
 	}
-	bestX := res.BestX
 	bestPred := math.Inf(1)
-	for _, s := range res.History {
+	for _, s := range hist {
 		if m, _ := model.Predict(s.X, targetGB); m < bestPred {
 			bestPred = m
-			bestX = s.X
+			best = s.X
 		}
 	}
-	return sub.Decode(bestX)
+	return best, best != nil
+}
+
+// pickBest chooses the final configuration. Without DAGP the best observed
+// RQA point wins; with DAGP the surrogate's posterior mean at the target
+// size ranks every evaluated point, which both de-noises the selection
+// (single runs are noisy; the GP pools information across neighbours) and
+// transfers observations taken at other data sizes to the target size
+// (Section 3.4's online adaptation).
+func (t *Tuner) pickBest(sub *conf.Subspace, res bo.Result, targetGB float64) conf.Config {
+	if !t.opts.UseDAGP {
+		return sub.Decode(res.BestX)
+	}
+	if x, ok := dagpRank(res.History, targetGB, t.opts.Seed+2); ok {
+		return sub.Decode(x)
+	}
+	return sub.Decode(res.BestX)
 }
 
 // bestOfHistory returns the decision point of res with the lowest DAGP
@@ -332,28 +565,10 @@ func (t *Tuner) bestOfHistory(res bo.Result, targetGB float64) []float64 {
 	if !t.opts.UseDAGP {
 		return res.BestX
 	}
-	rng := rand.New(rand.NewSource(t.opts.Seed + 3))
-	var ds []dagp.Sample
-	for _, s := range res.History {
-		size := targetGB
-		if len(s.Ctx) > 0 {
-			size = s.Ctx[0] * dagp.ScaleGB
-		}
-		ds = append(ds, dagp.Sample{X: s.X, DataGB: size, Sec: s.Y})
+	if x, ok := dagpRank(res.History, targetGB, t.opts.Seed+3); ok {
+		return x
 	}
-	model, err := dagp.Fit(ds, rng)
-	if err != nil {
-		return res.BestX
-	}
-	bestX := res.BestX
-	bestPred := math.Inf(1)
-	for _, s := range res.History {
-		if m, _ := model.Predict(s.X, targetGB); m < bestPred {
-			bestPred = m
-			bestX = s.X
-		}
-	}
-	return bestX
+	return res.BestX
 }
 
 func allIndices(n int) []int {

@@ -10,7 +10,9 @@ package dagp
 
 import (
 	"errors"
+	"math"
 	"math/rand"
+	"sort"
 
 	"locat/internal/gp"
 )
@@ -74,6 +76,60 @@ func Fit(samples []Sample, rng *rand.Rand) (*Model, error) {
 		return nil, errors.New("dagp: no usable hyperparameter sample")
 	}
 	return &Model{g: best}, nil
+}
+
+// SelectTransfer picks at most max prior observations worth transferring to
+// a session targeting targetGB and returns their indices into samples, most
+// relevant first. Relevance combines two ranks: distance in log-datasize
+// (the GP's datasize feature interpolates well between nearby sizes and
+// poorly across decades) and observed latency (low-latency points carry the
+// information the acquisition function needs around the optimum;
+// high-latency points mostly teach the model what to avoid, which a few
+// suffice for). The tuning service calls this before injecting
+// history-store observations as a core.Prior, bounding both the GP's cubic
+// fitting cost and the influence of far-away sizes.
+func SelectTransfer(samples []Sample, targetGB float64, max int) []int {
+	if max <= 0 || len(samples) <= max {
+		out := make([]int, len(samples))
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	// Rank by log-size distance.
+	sizeRank := make([]int, len(samples))
+	idx := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	logDist := func(i int) float64 {
+		s := samples[i].DataGB
+		if s <= 0 || targetGB <= 0 {
+			return math.Inf(1)
+		}
+		return math.Abs(math.Log(s / targetGB))
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return logDist(idx[a]) < logDist(idx[b]) })
+	for r, i := range idx {
+		sizeRank[i] = r
+	}
+	// Rank by latency.
+	secRank := make([]int, len(samples))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return samples[idx[a]].Sec < samples[idx[b]].Sec })
+	for r, i := range idx {
+		secRank[i] = r
+	}
+	// Combined relevance: size proximity dominates, latency breaks ties and
+	// pulls in near-optimal points from slightly farther sizes.
+	for i := range idx {
+		idx[i] = i
+	}
+	score := func(i int) int { return 2*sizeRank[i] + secRank[i] }
+	sort.SliceStable(idx, func(a, b int) bool { return score(idx[a]) < score(idx[b]) })
+	return append([]int(nil), idx[:max]...)
 }
 
 // Predict returns the posterior mean and variance of the latency of the

@@ -57,6 +57,47 @@ func TestDataSizeAwareness(t *testing.T) {
 	}
 }
 
+func TestSelectTransfer(t *testing.T) {
+	// 30 observations spread across three sizes; target 150 GB.
+	var samples []Sample
+	for i := 0; i < 10; i++ {
+		samples = append(samples, Sample{X: []float64{0.1}, DataGB: 100, Sec: 100 + float64(i)})
+		samples = append(samples, Sample{X: []float64{0.2}, DataGB: 200, Sec: 200 + float64(i)})
+		samples = append(samples, Sample{X: []float64{0.3}, DataGB: 3200, Sec: 900 + float64(i)})
+	}
+	sel := SelectTransfer(samples, 150, 12)
+	if len(sel) != 12 {
+		t.Fatalf("got %d samples, want 12", len(sel))
+	}
+	// The far-away 3.2 TB observations must be crowded out by the two
+	// neighboring sizes.
+	for _, i := range sel {
+		if samples[i].DataGB > 1000 {
+			t.Fatalf("far-size sample (%.0f GB) selected over near sizes", samples[i].DataGB)
+		}
+	}
+	// Short-input and under-max passthrough copies everything.
+	if got := SelectTransfer(samples[:3], 150, 12); len(got) != 3 {
+		t.Fatalf("passthrough returned %d, want 3", len(got))
+	}
+	if got := SelectTransfer(samples, 150, 0); len(got) != len(samples) {
+		t.Fatalf("max<=0 returned %d, want all %d", len(got), len(samples))
+	}
+}
+
+func TestSelectTransferPrefersLowLatencyAtEqualSize(t *testing.T) {
+	var samples []Sample
+	for i := 0; i < 20; i++ {
+		samples = append(samples, Sample{X: []float64{float64(i) / 20}, DataGB: 100, Sec: float64(1 + i)})
+	}
+	sel := SelectTransfer(samples, 100, 5)
+	for _, i := range sel {
+		if samples[i].Sec > 5 {
+			t.Fatalf("high-latency sample (%.0f s) selected; want the 5 fastest", samples[i].Sec)
+		}
+	}
+}
+
 func TestPredictVarianceNonNegative(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	var samples []Sample

@@ -1,0 +1,52 @@
+// Package progress provides the lightweight structured logger the tuner and
+// the tuning service report phase transitions through. It exists so that the
+// public Quiet option has one authoritative sink: everything user-visible
+// that is not a result goes through a Logger, and a nil / discarded Logger
+// silences the whole stack.
+package progress
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Logf is the logging callback threaded through the tuner. A nil Logf is
+// always safe to call via F.
+type Logf func(format string, args ...any)
+
+// F calls f if it is non-nil; the universal guard so call sites never need
+// nil checks.
+func F(f Logf, format string, args ...any) {
+	if f != nil {
+		f(format, args...)
+	}
+}
+
+// New returns a Logf writing timestamped lines prefixed with tag to w.
+// A nil writer yields a nil Logf (silent). The returned Logf is safe for
+// concurrent use — the tuning service shares one across worker goroutines.
+func New(w io.Writer, tag string) Logf {
+	if w == nil {
+		return nil
+	}
+	var mu sync.Mutex
+	return func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		fmt.Fprintf(w, "%s %s %s\n",
+			time.Now().Format("15:04:05.000"), tag, fmt.Sprintf(format, args...))
+	}
+}
+
+// Prefixed returns a Logf that prepends prefix to every message of f.
+// Used by the service to tag lines with the job ID. Nil-safe.
+func Prefixed(f Logf, prefix string) Logf {
+	if f == nil {
+		return nil
+	}
+	return func(format string, args ...any) {
+		f("%s%s", prefix, fmt.Sprintf(format, args...))
+	}
+}

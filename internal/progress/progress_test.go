@@ -1,0 +1,71 @@
+package progress
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// syncBuffer is a goroutine-safe string sink.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestNilSafety(t *testing.T) {
+	F(nil, "must not panic %d", 1)
+	if New(nil, "x") != nil {
+		t.Fatal("New(nil) should be a nil Logf")
+	}
+	if Prefixed(nil, "p") != nil {
+		t.Fatal("Prefixed(nil) should be a nil Logf")
+	}
+}
+
+func TestWritesTaggedLines(t *testing.T) {
+	var buf syncBuffer
+	logf := New(&buf, "locat:")
+	F(logf, "phase %d done", 1)
+	F(Prefixed(logf, "[job-9] "), "queued")
+	out := buf.String()
+	if !strings.Contains(out, "locat: phase 1 done") {
+		t.Fatalf("missing tagged line in %q", out)
+	}
+	if !strings.Contains(out, "locat: [job-9] queued") {
+		t.Fatalf("missing prefixed line in %q", out)
+	}
+	if n := strings.Count(out, "\n"); n != 2 {
+		t.Fatalf("want 2 lines, got %d: %q", n, out)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	var buf syncBuffer
+	logf := New(&buf, "t")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				logf("msg %d", j)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := strings.Count(buf.String(), "\n"); n != 16*50 {
+		t.Fatalf("want %d lines, got %d", 16*50, n)
+	}
+}

@@ -1,0 +1,88 @@
+// Package service implements the LOCAT tuning service: a long-running
+// session manager with a bounded worker pool, a history store of finished
+// sessions keyed by workload fingerprint, and a warm-start path that seeds
+// new sessions with observations retrieved from similar past workloads —
+// the cross-session generalization of the paper's datasize-aware Gaussian
+// process. The locat.Service facade and the locat-serve HTTP binary are
+// thin wrappers around this package.
+package service
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fingerprint identifies a class of tuning workloads whose observations are
+// mutually transferable: same simulated cluster, same benchmark, input
+// sizes in the same (or a neighboring) logarithmic bucket, and the same set
+// of enabled techniques. It is the history store's key.
+type Fingerprint struct {
+	// Cluster is the normalized cluster name ("arm" or "x86").
+	Cluster string `json:"cluster"`
+	// Benchmark is the benchmark name ("TPC-DS", "TPC-H", ...).
+	Benchmark string `json:"benchmark"`
+	// SizeBucket is round(log2(DataSizeGB)): sizes within roughly a factor
+	// of ~1.4 of a power of two share a bucket, and adjacent buckets are
+	// close enough for the DAGP to transfer across (Neighbors).
+	SizeBucket int `json:"size_bucket"`
+	// Techniques encodes which of QCSA / IICP / DAGP were enabled, e.g.
+	// "qid" for all three or "-" for none. Sessions run with different
+	// technique sets produce differently-shaped artifacts, so they do not
+	// share history.
+	Techniques string `json:"techniques"`
+}
+
+// SizeBucketOf maps a data size to its fingerprint bucket.
+func SizeBucketOf(dataGB float64) int {
+	if dataGB <= 1 {
+		return 0
+	}
+	return int(math.Round(math.Log2(dataGB)))
+}
+
+// techniquesCode encodes enabled techniques compactly and stably.
+func techniquesCode(useQCSA, useIICP, useDAGP bool) string {
+	s := ""
+	if useQCSA {
+		s += "q"
+	}
+	if useIICP {
+		s += "i"
+	}
+	if useDAGP {
+		s += "d"
+	}
+	if s == "" {
+		s = "-"
+	}
+	return s
+}
+
+// NewFingerprint derives the fingerprint of a normalized job spec.
+func NewFingerprint(spec JobSpec) Fingerprint {
+	return Fingerprint{
+		Cluster:    spec.Cluster,
+		Benchmark:  spec.Benchmark,
+		SizeBucket: SizeBucketOf(spec.DataSizeGB),
+		Techniques: techniquesCode(!spec.DisableQCSA, !spec.DisableIICP, !spec.DisableDAGP),
+	}
+}
+
+// Key renders the fingerprint as a stable, filesystem-safe string — the
+// history store's primary key and the file name of the FileStore shard.
+func (f Fingerprint) Key() string {
+	return fmt.Sprintf("%s_%s_b%d_%s", f.Cluster, f.Benchmark, f.SizeBucket, f.Techniques)
+}
+
+// Neighbors returns the fingerprints of the two adjacent size buckets.
+// Observations there were taken at input sizes within ~2× of this bucket —
+// near enough for the datasize-aware GP to transfer them to the target.
+func (f Fingerprint) Neighbors() []Fingerprint {
+	lo, hi := f, f
+	lo.SizeBucket--
+	hi.SizeBucket++
+	if f.SizeBucket == 0 {
+		return []Fingerprint{hi}
+	}
+	return []Fingerprint{lo, hi}
+}

@@ -1,0 +1,76 @@
+package service
+
+import (
+	"testing"
+)
+
+func TestFingerprintStable(t *testing.T) {
+	spec := JobSpec{Cluster: "x86", Benchmark: "TPC-H", DataSizeGB: 150, Seed: 3}
+	if err := spec.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	a := NewFingerprint(spec)
+	b := NewFingerprint(spec)
+	if a != b || a.Key() != b.Key() {
+		t.Fatalf("fingerprint not stable: %v vs %v", a, b)
+	}
+	if a.Key() != "x86_TPC-H_b7_qid" {
+		t.Fatalf("unexpected key %q", a.Key())
+	}
+}
+
+func TestFingerprintSeparatesWorkloads(t *testing.T) {
+	base := JobSpec{Cluster: "arm", Benchmark: "TPC-DS", DataSizeGB: 100}
+	variants := []JobSpec{
+		{Cluster: "x86", Benchmark: "TPC-DS", DataSizeGB: 100},
+		{Cluster: "arm", Benchmark: "TPC-H", DataSizeGB: 100},
+		{Cluster: "arm", Benchmark: "TPC-DS", DataSizeGB: 1000},
+		{Cluster: "arm", Benchmark: "TPC-DS", DataSizeGB: 100, DisableQCSA: true},
+		{Cluster: "arm", Benchmark: "TPC-DS", DataSizeGB: 100, DisableIICP: true},
+	}
+	bk := NewFingerprint(base).Key()
+	for _, v := range variants {
+		if NewFingerprint(v).Key() == bk {
+			t.Fatalf("variant %+v collides with base key %s", v, bk)
+		}
+	}
+}
+
+func TestFingerprintNeighboringSizesShareBucket(t *testing.T) {
+	// 100 GB and 140 GB both round to bucket 7 — the warm-start scenario
+	// of the acceptance test.
+	a := JobSpec{Cluster: "arm", Benchmark: "TPC-H", DataSizeGB: 100}
+	b := JobSpec{Cluster: "arm", Benchmark: "TPC-H", DataSizeGB: 140}
+	if NewFingerprint(a).Key() != NewFingerprint(b).Key() {
+		t.Fatalf("100 GB (%s) and 140 GB (%s) should share a bucket",
+			NewFingerprint(a).Key(), NewFingerprint(b).Key())
+	}
+}
+
+func TestFingerprintNeighbors(t *testing.T) {
+	fp := NewFingerprint(JobSpec{Cluster: "arm", Benchmark: "TPC-H", DataSizeGB: 200})
+	ns := fp.Neighbors()
+	if len(ns) != 2 {
+		t.Fatalf("want 2 neighbors, got %d", len(ns))
+	}
+	if ns[0].SizeBucket != fp.SizeBucket-1 || ns[1].SizeBucket != fp.SizeBucket+1 {
+		t.Fatalf("bad neighbor buckets: %+v around %d", ns, fp.SizeBucket)
+	}
+	// The bottom bucket has no lower neighbor.
+	bot := Fingerprint{Cluster: "arm", Benchmark: "Scan", SizeBucket: 0, Techniques: "qid"}
+	if got := bot.Neighbors(); len(got) != 1 || got[0].SizeBucket != 1 {
+		t.Fatalf("bottom-bucket neighbors = %+v", got)
+	}
+}
+
+func TestSizeBucketOf(t *testing.T) {
+	cases := []struct {
+		gb   float64
+		want int
+	}{{0.5, 0}, {1, 0}, {2, 1}, {100, 7}, {140, 7}, {200, 8}, {1024, 10}}
+	for _, c := range cases {
+		if got := SizeBucketOf(c.gb); got != c.want {
+			t.Errorf("SizeBucketOf(%v) = %d, want %d", c.gb, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// HistorySummary is the compact per-entry view of the history endpoints.
+type HistorySummary struct {
+	Key         string  `json:"key"`
+	JobID       string  `json:"job_id"`
+	CreatedUnix int64   `json:"created_unix"`
+	TargetGB    float64 `json:"target_gb"`
+	TunedSec    float64 `json:"tuned_sec"`
+	OverheadSec float64 `json:"overhead_sec"`
+	Obs         int     `json:"obs"`
+}
+
+// History returns one summary per stored entry, grouped by key order.
+func (s *Service) History() ([]HistorySummary, error) {
+	keys, err := s.store.Keys()
+	if err != nil {
+		return nil, err
+	}
+	var out []HistorySummary
+	for _, k := range keys {
+		entries, err := s.store.Get(k)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			out = append(out, HistorySummary{
+				Key:         k,
+				JobID:       e.JobID,
+				CreatedUnix: e.CreatedUnix,
+				TargetGB:    e.TargetGB,
+				TunedSec:    e.TunedSec,
+				OverheadSec: e.OverheadSec,
+				Obs:         len(e.Obs),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs           submit a JobSpec, returns {"id": ...}
+//	GET    /v1/jobs           list job statuses
+//	GET    /v1/jobs/{id}      one job's status (result embedded when done)
+//	GET    /v1/jobs/{id}/result  the finished job's full result (409 while running)
+//	GET    /v1/jobs/{id}/conf    the tuned spark-defaults.conf as text/plain
+//	DELETE /v1/jobs/{id}      request cancellation
+//	GET    /v1/history        history-store summaries
+//	GET    /v1/history/{key}  full entries under one fingerprint key
+//	GET    /healthz           liveness + pool occupancy
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decode job spec: %w", err))
+			return
+		}
+		id, err := s.Submit(spec)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "state": string(StateQueued)})
+	})
+
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Jobs())
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Status(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Status(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		if !st.State.Terminal() {
+			httpError(w, http.StatusConflict,
+				fmt.Errorf("job %s is %s; result not ready", st.ID, st.State))
+			return
+		}
+		if st.State != StateSucceeded {
+			httpError(w, http.StatusGone,
+				fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error))
+			return
+		}
+		writeJSON(w, http.StatusOK, st.Result)
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}/conf", func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Status(r.PathValue("id"))
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		if st.State != StateSucceeded {
+			httpError(w, http.StatusConflict,
+				fmt.Errorf("job %s is %s; no tuned configuration", st.ID, st.State))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, st.Result.SparkConf)
+	})
+
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.Cancel(r.PathValue("id")); err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]string{"state": "cancelling"})
+	})
+
+	mux.HandleFunc("GET /v1/history", func(w http.ResponseWriter, r *http.Request) {
+		sums, err := s.History()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		if sums == nil {
+			sums = []HistorySummary{}
+		}
+		writeJSON(w, http.StatusOK, sums)
+	})
+
+	mux.HandleFunc("GET /v1/history/{key}", func(w http.ResponseWriter, r *http.Request) {
+		key := r.PathValue("key")
+		if strings.ContainsAny(key, "/\\") {
+			httpError(w, http.StatusBadRequest, errors.New("invalid history key"))
+			return
+		}
+		entries, err := s.store.Get(key)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+		if len(entries) == 0 {
+			httpError(w, http.StatusNotFound, fmt.Errorf("no history under %q", key))
+			return
+		}
+		writeJSON(w, http.StatusOK, entries)
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		q, run, fin := s.Stats()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ok", "queued": q, "running": run, "finished": fin,
+		})
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,217 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func doJSON(t *testing.T, client *http.Client, method, url string, body any, wantCode int, out any) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantCode {
+		t.Fatalf("%s %s = %d, want %d; body %s", method, url, resp.StatusCode, wantCode, data)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("decode %s: %v", data, err)
+		}
+	}
+}
+
+func waitDone(t *testing.T, client *http.Client, base, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var st JobStatus
+		doJSON(t, client, "GET", base+"/v1/jobs/"+id, nil, http.StatusOK, &st)
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestHTTPEndToEndWarmStart is the acceptance scenario: two jobs for
+// neighboring data sizes submitted over HTTP; the second is warm-started
+// from the history store and reports lower tuning overhead.
+func TestHTTPEndToEndWarmStart(t *testing.T) {
+	svc := New(Config{Workers: 2})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	// Health before anything runs.
+	var health map[string]any
+	doJSON(t, client, "GET", srv.URL+"/healthz", nil, http.StatusOK, &health)
+	if health["status"] != "ok" {
+		t.Fatalf("health = %v", health)
+	}
+
+	// Empty history at first.
+	var sums []HistorySummary
+	doJSON(t, client, "GET", srv.URL+"/v1/history", nil, http.StatusOK, &sums)
+	if len(sums) != 0 {
+		t.Fatalf("fresh service has history: %+v", sums)
+	}
+
+	// Job 1: cold, 100 GB.
+	var sub struct {
+		ID string `json:"id"`
+	}
+	doJSON(t, client, "POST", srv.URL+"/v1/jobs", quickSpec(100, 1), http.StatusAccepted, &sub)
+	if sub.ID == "" {
+		t.Fatal("no job id")
+	}
+	// Result is not ready while queued/running.
+	var resultCode int
+	{
+		resp, err := client.Get(srv.URL + "/v1/jobs/" + sub.ID + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		resultCode = resp.StatusCode
+	}
+	if resultCode != http.StatusConflict && resultCode != http.StatusOK {
+		t.Fatalf("premature result fetch = %d", resultCode)
+	}
+
+	st1 := waitDone(t, client, srv.URL, sub.ID)
+	if st1.State != StateSucceeded {
+		t.Fatalf("job 1 ended %s: %s", st1.State, st1.Error)
+	}
+	var res1 JobResult
+	doJSON(t, client, "GET", srv.URL+"/v1/jobs/"+sub.ID+"/result", nil, http.StatusOK, &res1)
+	if res1.WarmStarted {
+		t.Fatal("first job cannot be warm")
+	}
+
+	// The tuned spark-defaults.conf is served as text.
+	resp, err := client.Get(srv.URL + "/v1/jobs/" + sub.ID + "/conf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	confText, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(confText), "spark.executor.cores") {
+		t.Fatalf("conf endpoint: %d %q", resp.StatusCode, confText)
+	}
+
+	// Job 2: neighboring size, warm-started from the history store.
+	var sub2 struct {
+		ID string `json:"id"`
+	}
+	doJSON(t, client, "POST", srv.URL+"/v1/jobs", quickSpec(140, 2), http.StatusAccepted, &sub2)
+	st2 := waitDone(t, client, srv.URL, sub2.ID)
+	if st2.State != StateSucceeded {
+		t.Fatalf("job 2 ended %s: %s", st2.State, st2.Error)
+	}
+	var res2 JobResult
+	doJSON(t, client, "GET", srv.URL+"/v1/jobs/"+sub2.ID+"/result", nil, http.StatusOK, &res2)
+	if !res2.WarmStarted || res2.PriorObsUsed == 0 {
+		t.Fatalf("job 2 not warm-started: %+v", res2)
+	}
+	if res2.OverheadSec >= res1.OverheadSec {
+		t.Fatalf("warm job overhead %.0f s not below cold job's %.0f s",
+			res2.OverheadSec, res1.OverheadSec)
+	}
+
+	// History now lists both sessions under the shared fingerprint key.
+	doJSON(t, client, "GET", srv.URL+"/v1/history", nil, http.StatusOK, &sums)
+	if len(sums) != 2 {
+		t.Fatalf("history has %d entries, want 2: %+v", len(sums), sums)
+	}
+	var entries []Entry
+	doJSON(t, client, "GET", srv.URL+"/v1/history/"+sums[0].Key, nil, http.StatusOK, &entries)
+	if len(entries) != 2 || len(entries[0].Obs) == 0 {
+		t.Fatalf("history entries malformed: %d entries", len(entries))
+	}
+
+	// Job listing shows both, in order.
+	var jobs []JobStatus
+	doJSON(t, client, "GET", srv.URL+"/v1/jobs", nil, http.StatusOK, &jobs)
+	if len(jobs) != 2 || jobs[0].ID != sub.ID || jobs[1].ID != sub2.ID {
+		t.Fatalf("job listing wrong: %+v", jobs)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	// Malformed body.
+	resp, err := client.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed submit = %d", resp.StatusCode)
+	}
+
+	// Invalid spec.
+	doJSON(t, client, "POST", srv.URL+"/v1/jobs",
+		JobSpec{Cluster: "sparc"}, http.StatusBadRequest, nil)
+
+	// Unknown job everywhere.
+	for _, ep := range []string{"/v1/jobs/job-999999", "/v1/jobs/job-999999/result", "/v1/jobs/job-999999/conf"} {
+		r, err := client.Get(srv.URL + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s = %d, want 404", ep, r.StatusCode)
+		}
+	}
+	req, _ := http.NewRequest("DELETE", srv.URL+"/v1/jobs/job-999999", nil)
+	r, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("cancel unknown = %d, want 404", r.StatusCode)
+	}
+
+	// Unknown history key.
+	r, err = client.Get(srv.URL + "/v1/history/" + fmt.Sprintf("nope_%d", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown history = %d, want 404", r.StatusCode)
+	}
+}

@@ -1,0 +1,629 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"locat/internal/conf"
+	"locat/internal/core"
+	"locat/internal/dagp"
+	"locat/internal/progress"
+	"locat/internal/sparksim"
+	"locat/internal/workloads"
+)
+
+// JobSpec describes one tuning job. It mirrors the tunable subset of the
+// public locat.Options and is the wire format of the HTTP submit endpoint.
+type JobSpec struct {
+	// Cluster is "arm" (default) or "x86".
+	Cluster string `json:"cluster,omitempty"`
+	// Benchmark is one of locat.Benchmarks(); default "TPC-DS".
+	Benchmark string `json:"benchmark,omitempty"`
+	// DataSizeGB is the target input size; default 100.
+	DataSizeGB float64 `json:"data_size_gb,omitempty"`
+	// Seed makes the session reproducible; default 1.
+	Seed int64 `json:"seed,omitempty"`
+	// NQCSA, NIICP and MaxIterations override the paper's budgets.
+	NQCSA         int `json:"n_qcsa,omitempty"`
+	NIICP         int `json:"n_iicp,omitempty"`
+	MaxIterations int `json:"max_iterations,omitempty"`
+	// DisableQCSA / DisableIICP / DisableDAGP ablate the techniques.
+	DisableQCSA bool `json:"disable_qcsa,omitempty"`
+	DisableIICP bool `json:"disable_iicp,omitempty"`
+	DisableDAGP bool `json:"disable_dagp,omitempty"`
+	// ColdStart opts this job out of history retrieval: it runs the full
+	// sampling pipeline even when similar past sessions exist.
+	ColdStart bool `json:"cold_start,omitempty"`
+}
+
+func (s *JobSpec) normalize() error {
+	if s.Cluster == "" {
+		s.Cluster = "arm"
+	}
+	if s.Cluster != "arm" && s.Cluster != "x86" {
+		return fmt.Errorf("service: unknown cluster %q (want arm or x86)", s.Cluster)
+	}
+	if s.Benchmark == "" {
+		s.Benchmark = "TPC-DS"
+	}
+	if _, err := workloads.ByName(s.Benchmark); err != nil {
+		return err
+	}
+	if s.DataSizeGB == 0 {
+		s.DataSizeGB = 100
+	}
+	if s.DataSizeGB < 0 {
+		return errors.New("service: negative data size")
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return nil
+}
+
+func (s JobSpec) cluster() *sparksim.Cluster {
+	if s.Cluster == "x86" {
+		return sparksim.X86()
+	}
+	return sparksim.ARM()
+}
+
+// State is a job's lifecycle position.
+type State string
+
+// Job lifecycle states. Terminal states are Succeeded, Failed, Cancelled.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateSucceeded State = "succeeded"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateSucceeded || s == StateFailed || s == StateCancelled
+}
+
+// JobResult is the outcome of a finished tuning job.
+type JobResult struct {
+	// BestConfig is the tuned configuration vector (natural units).
+	BestConfig conf.Config `json:"best_config"`
+	// BestParams is the same configuration as a property→value map.
+	BestParams map[string]float64 `json:"best_params"`
+	// TunedSec and DefaultSec are the noiseless latencies under the tuned
+	// configuration and the Spark defaults.
+	TunedSec   float64 `json:"tuned_sec"`
+	DefaultSec float64 `json:"default_sec"`
+	// OverheadSec = SamplingSec + SearchSec is the simulated cluster time
+	// tuning consumed (the paper's optimization time), split by phase.
+	OverheadSec float64 `json:"overhead_sec"`
+	SamplingSec float64 `json:"sampling_sec"`
+	SearchSec   float64 `json:"search_sec"`
+	// FullRuns and RQARuns count executions by kind.
+	FullRuns int `json:"full_runs"`
+	RQARuns  int `json:"rqa_runs"`
+	// WarmStarted reports whether the session consumed history-store
+	// observations instead of collecting the full sample set, and
+	// PriorObsUsed how many.
+	WarmStarted  bool `json:"warm_started"`
+	PriorObsUsed int  `json:"prior_obs_used"`
+	// SensitiveQueries and ImportantParams are the session's (possibly
+	// inherited) QCSA / IICP artifacts.
+	SensitiveQueries []string `json:"sensitive_queries,omitempty"`
+	ImportantParams  []string `json:"important_params,omitempty"`
+	// SparkConf is the tuned configuration rendered in spark-defaults.conf
+	// syntax.
+	SparkConf string `json:"spark_conf"`
+}
+
+// JobStatus is the externally visible snapshot of a job.
+type JobStatus struct {
+	ID          string     `json:"id"`
+	Spec        JobSpec    `json:"spec"`
+	Fingerprint string     `json:"fingerprint"`
+	State       State      `json:"state"`
+	Error       string     `json:"error,omitempty"`
+	Submitted   time.Time  `json:"submitted"`
+	Started     *time.Time `json:"started,omitempty"`
+	Finished    *time.Time `json:"finished,omitempty"`
+	Result      *JobResult `json:"result,omitempty"`
+}
+
+type job struct {
+	id        string
+	spec      JobSpec
+	fp        Fingerprint
+	state     State
+	err       string
+	result    *JobResult
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	cancelled atomic.Bool
+	done      chan struct{}
+}
+
+// Config configures a Service.
+type Config struct {
+	// Workers is the size of the session worker pool (default 2): the
+	// maximum number of tuning sessions running concurrently. Further
+	// submissions queue.
+	Workers int
+	// QueueCap bounds the backlog of queued jobs (default 256); Submit
+	// fails once it is full.
+	QueueCap int
+	// Store is the history store (default: a fresh in-memory store).
+	Store Store
+	// MaxPriorObs caps the observations injected into a warm-started
+	// session (default 48), keeping the GP fitting cost bounded no matter
+	// how much history accumulates.
+	MaxPriorObs int
+	// Logf, if non-nil, receives service and per-job progress lines.
+	Logf progress.Logf
+}
+
+// Service is the concurrent tuning-session manager. Submit enqueues jobs
+// and returns immediately; a fixed pool of workers drains the queue. Every
+// successful session is persisted to the history store, and later sessions
+// with a matching or neighboring workload fingerprint warm-start from it.
+type Service struct {
+	cfg   Config
+	store Store
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string
+	seq    int
+	closed bool
+
+	queue chan *job
+	wg    sync.WaitGroup
+}
+
+// New starts a Service with cfg's worker pool.
+func New(cfg Config) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 256
+	}
+	if cfg.Store == nil {
+		cfg.Store = NewMemStore()
+	}
+	if cfg.MaxPriorObs <= 0 {
+		cfg.MaxPriorObs = 48
+	}
+	s := &Service{
+		cfg:   cfg,
+		store: cfg.Store,
+		jobs:  map[string]*job{},
+		queue: make(chan *job, cfg.QueueCap),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Store returns the service's history store.
+func (s *Service) Store() Store { return s.store }
+
+func (s *Service) logf(format string, args ...any) { progress.F(s.cfg.Logf, format, args...) }
+
+// Submit validates and enqueues a job, returning its ID immediately.
+func (s *Service) Submit(spec JobSpec) (string, error) {
+	if err := spec.normalize(); err != nil {
+		return "", err
+	}
+	j := &job{
+		spec:      spec,
+		fp:        NewFingerprint(spec),
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return "", errors.New("service: closed")
+	}
+	s.seq++
+	j.id = fmt.Sprintf("job-%06d", s.seq)
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		return "", fmt.Errorf("service: queue full (%d jobs)", s.cfg.QueueCap)
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+	s.logf("[%s] queued: %s %s %.0f GB (fingerprint %s)",
+		j.id, spec.Cluster, spec.Benchmark, spec.DataSizeGB, j.fp.Key())
+	return j.id, nil
+}
+
+// Status returns a job's current snapshot.
+func (s *Service) Status(id string) (JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("service: unknown job %q", id)
+	}
+	return j.snapshotLocked(), nil
+}
+
+// Jobs returns snapshots of every job in submission order.
+func (s *Service) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].snapshotLocked())
+	}
+	return out
+}
+
+// snapshotLocked renders the job; the service mutex must be held.
+func (j *job) snapshotLocked() JobStatus {
+	st := JobStatus{
+		ID:          j.id,
+		Spec:        j.spec,
+		Fingerprint: j.fp.Key(),
+		State:       j.state,
+		Error:       j.err,
+		Submitted:   j.submitted,
+		Result:      j.result,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// Result blocks until the job finishes and returns its result (an error for
+// failed or cancelled jobs).
+func (s *Service) Result(id string) (*JobResult, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("service: unknown job %q", id)
+	}
+	<-j.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch j.state {
+	case StateSucceeded:
+		return j.result, nil
+	case StateCancelled:
+		return nil, fmt.Errorf("service: job %s cancelled", id)
+	default:
+		return nil, fmt.Errorf("service: job %s failed: %s", id, j.err)
+	}
+}
+
+// Cancel requests cancellation: queued jobs are cancelled immediately and
+// never start; running jobs stop cooperatively at the next evaluation
+// boundary. Cancelling a finished job is a no-op.
+func (s *Service) Cancel(id string) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("service: unknown job %q", id)
+	}
+	j.cancelled.Store(true)
+	if j.state == StateQueued {
+		j.state = StateCancelled
+		j.finished = time.Now()
+		s.mu.Unlock()
+		close(j.done)
+		s.logf("[%s] cancelled while queued", id)
+		return nil
+	}
+	s.mu.Unlock()
+	s.logf("[%s] cancellation requested", id)
+	return nil
+}
+
+// Stats reports the queue and pool occupancy.
+func (s *Service) Stats() (queued, running, finished int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		switch {
+		case j.state == StateQueued:
+			queued++
+		case j.state == StateRunning:
+			running++
+		case j.state.Terminal():
+			finished++
+		}
+	}
+	return
+}
+
+// Close stops accepting submissions, cancels still-queued jobs and waits
+// for running sessions to finish.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	// Cancel the backlog so draining workers skip it instead of running it.
+	var drop []*job
+	for _, j := range s.jobs {
+		if j.state == StateQueued {
+			j.cancelled.Store(true)
+			j.state = StateCancelled
+			j.finished = time.Now()
+			drop = append(drop, j)
+		}
+	}
+	close(s.queue)
+	s.mu.Unlock()
+	for _, j := range drop {
+		close(j.done)
+	}
+	s.wg.Wait()
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.mu.Lock()
+		if j.state != StateQueued {
+			// Cancelled (directly or by Close) while waiting in the queue.
+			s.mu.Unlock()
+			continue
+		}
+		j.state = StateRunning
+		j.started = time.Now()
+		s.mu.Unlock()
+		res, err := s.runJob(j)
+		switch {
+		case errors.Is(err, core.ErrStopped):
+			s.finish(j, StateCancelled, nil, nil)
+		case err != nil:
+			s.finish(j, StateFailed, nil, err)
+		default:
+			// A cancellation that lands after the last Stop poll loses the
+			// race: the session completed, so its result stands.
+			s.finish(j, StateSucceeded, res, nil)
+		}
+	}
+}
+
+func (s *Service) finish(j *job, st State, res *JobResult, err error) {
+	s.mu.Lock()
+	j.state = st
+	j.finished = time.Now()
+	j.result = res
+	if err != nil {
+		j.err = err.Error()
+	}
+	s.mu.Unlock()
+	close(j.done)
+	switch st {
+	case StateSucceeded:
+		s.logf("[%s] succeeded: tuned %.0f s (default %.0f s), overhead %.0f s, warm=%v",
+			j.id, res.TunedSec, res.DefaultSec, res.OverheadSec, res.WarmStarted)
+	case StateFailed:
+		s.logf("[%s] failed: %v", j.id, err)
+	case StateCancelled:
+		s.logf("[%s] cancelled", j.id)
+	}
+}
+
+// runJob executes one tuning session: retrieve a prior from the history
+// store, run the core pipeline, persist the outcome.
+func (s *Service) runJob(j *job) (*JobResult, error) {
+	spec := j.spec
+	cl := spec.cluster()
+	app, err := workloads.ByName(spec.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	sim := sparksim.New(cl, spec.Seed)
+	space := sim.Space()
+
+	opts := core.DefaultOptions()
+	opts.Seed = spec.Seed
+	if spec.NQCSA > 0 {
+		opts.NQCSA = spec.NQCSA
+	}
+	if spec.NIICP > 0 {
+		opts.NIICP = spec.NIICP
+	}
+	if spec.MaxIterations > 0 {
+		opts.MaxIter = spec.MaxIterations
+	}
+	opts.UseQCSA = !spec.DisableQCSA
+	opts.UseIICP = !spec.DisableIICP
+	opts.UseDAGP = !spec.DisableDAGP
+	opts.Stop = j.cancelled.Load
+	opts.Logf = progress.Prefixed(s.cfg.Logf, "["+j.id+"] ")
+
+	if !spec.ColdStart && opts.UseDAGP {
+		prior, n := s.retrievePrior(j, space)
+		if prior != nil {
+			s.logf("[%s] retrieved %d prior observations from history", j.id, n)
+			opts.Prior = prior
+		}
+	}
+
+	rep, err := core.New(sim, app, opts).Tune(spec.DataSizeGB)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &JobResult{
+		BestConfig:   rep.Best.Clone(),
+		BestParams:   paramsToMap(rep.Best),
+		TunedSec:     rep.TunedSec,
+		DefaultSec:   sim.NoiselessAppTime(app, space.Default(), spec.DataSizeGB),
+		OverheadSec:  rep.OverheadSec,
+		SamplingSec:  rep.SamplingSec,
+		SearchSec:    rep.SearchSec,
+		FullRuns:     rep.FullRuns,
+		RQARuns:      rep.RQARuns,
+		WarmStarted:  rep.WarmStarted,
+		PriorObsUsed: rep.PriorObsUsed,
+		SparkConf:    sparkConfString(rep.Best),
+	}
+	if rep.QCSA != nil {
+		res.SensitiveQueries = append([]string(nil), rep.QCSA.Sensitive...)
+	}
+	if rep.IICP != nil {
+		res.ImportantParams = importantNames(rep.IICP.Important)
+	}
+	if err := s.persist(j, rep, res); err != nil {
+		// The tuning result is still valid; losing the history entry only
+		// costs future warm starts.
+		s.logf("[%s] history store write failed: %v", j.id, err)
+	}
+	return res, nil
+}
+
+// retrievePrior assembles a core.Prior from history entries under the job's
+// fingerprint and its neighboring size buckets. Observations are ranked and
+// capped by dagp.SelectTransfer; the QCSA / IICP artifacts come from the
+// newest same-bucket entry (falling back to neighbors).
+func (s *Service) retrievePrior(j *job, space *conf.Space) (*core.Prior, int) {
+	fps := append([]Fingerprint{j.fp}, j.fp.Neighbors()...)
+	var entries []Entry
+	for _, fp := range fps {
+		es, err := s.store.Get(fp.Key())
+		if err != nil {
+			s.logf("[%s] history read %s failed: %v", j.id, fp.Key(), err)
+			continue
+		}
+		entries = append(entries, es...)
+	}
+	if len(entries) == 0 {
+		return nil, 0
+	}
+
+	var obs []core.PriorObs
+	var samples []dagp.Sample
+	for _, e := range entries {
+		for _, o := range e.Obs {
+			if len(o.Params) != space.Dim() {
+				continue // stored under a different parameter table
+			}
+			c := conf.Config(o.Params)
+			obs = append(obs, core.PriorObs{
+				Conf: c, DataGB: o.DataGB, Sec: o.Sec, QuerySecs: o.QuerySecs,
+			})
+			samples = append(samples, dagp.Sample{
+				X: space.Encode(c), DataGB: o.DataGB, Sec: o.Sec,
+			})
+		}
+	}
+	if len(obs) == 0 {
+		return nil, 0
+	}
+	prior := &core.Prior{}
+	for _, i := range dagp.SelectTransfer(samples, j.spec.DataSizeGB, s.cfg.MaxPriorObs) {
+		prior.Obs = append(prior.Obs, obs[i])
+	}
+
+	// Newest entry wins for the analysis artifacts; same-bucket entries are
+	// preferred over neighbors.
+	sort.SliceStable(entries, func(a, b int) bool {
+		sa, sb := entries[a].Fingerprint.SizeBucket == j.fp.SizeBucket,
+			entries[b].Fingerprint.SizeBucket == j.fp.SizeBucket
+		if sa != sb {
+			return sa
+		}
+		return entries[a].CreatedUnix > entries[b].CreatedUnix
+	})
+	for _, e := range entries {
+		if prior.Sensitive == nil && len(e.Sensitive) > 0 {
+			prior.Sensitive = append([]string(nil), e.Sensitive...)
+		}
+		if prior.Important == nil && len(e.Important) > 0 {
+			for _, name := range e.Important {
+				if _, idx, ok := conf.ParamByName(name); ok {
+					prior.Important = append(prior.Important, idx)
+				}
+			}
+		}
+	}
+	return prior, len(prior.Obs)
+}
+
+// persist writes the finished session into the history store.
+func (s *Service) persist(j *job, rep *core.Report, res *JobResult) error {
+	e := Entry{
+		Fingerprint: j.fp,
+		JobID:       j.id,
+		CreatedUnix: time.Now().Unix(),
+		TargetGB:    j.spec.DataSizeGB,
+		TunedSec:    res.TunedSec,
+		OverheadSec: res.OverheadSec,
+		BestParams:  res.BestParams,
+		Sensitive:   res.SensitiveQueries,
+		Important:   res.ImportantParams,
+	}
+	for _, ev := range rep.History {
+		if !ev.FullApp {
+			// RQA runs measure only the reduced application; persisting
+			// them as full-app observations would corrupt future priors.
+			continue
+		}
+		e.Obs = append(e.Obs, Observation{
+			Params:    append([]float64(nil), ev.Conf...),
+			DataGB:    ev.DataGB,
+			Sec:       ev.Sec,
+			QuerySecs: ev.QuerySecs,
+		})
+	}
+	return s.store.Put(e)
+}
+
+// sparkConfString renders a configuration in spark-defaults.conf syntax.
+func sparkConfString(c conf.Config) string {
+	var b strings.Builder
+	_ = conf.FormatSparkConf(&b, c)
+	return b.String()
+}
+
+// importantNames maps parameter indices to Spark property names.
+func importantNames(idx []int) []string {
+	params := conf.Params()
+	out := make([]string, 0, len(idx))
+	for _, j := range idx {
+		if j >= 0 && j < len(params) {
+			out = append(out, params[j].Name)
+		}
+	}
+	return out
+}
+
+// paramsToMap converts a configuration vector to a name→value map.
+func paramsToMap(c conf.Config) map[string]float64 {
+	out := make(map[string]float64, len(c))
+	for i, p := range conf.Params() {
+		out[p.Name] = c[i]
+	}
+	return out
+}

@@ -1,0 +1,200 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// maxEntriesPerKey bounds a history shard: when a fingerprint accumulates
+// more finished sessions, the oldest are dropped. Recent sessions dominate
+// warm-start value anyway (the cluster and data distribution they saw are
+// closest to the present), and the cap keeps FileStore shards and Prior
+// construction O(1) per key.
+const maxEntriesPerKey = 32
+
+// Observation is one persisted tuning run: the executed configuration in
+// natural units together with its size and latency. QuerySecs preserves the
+// per-query breakdown so a future session can re-express the observation on
+// the scale of whatever reduced query application its own QCSA produces.
+type Observation struct {
+	Params    []float64          `json:"params"`
+	DataGB    float64            `json:"data_gb"`
+	Sec       float64            `json:"sec"`
+	QuerySecs map[string]float64 `json:"query_secs,omitempty"`
+}
+
+// Entry is one finished tuning session as persisted in the history store.
+type Entry struct {
+	Fingerprint Fingerprint `json:"fingerprint"`
+	// JobID is the service job that produced the entry.
+	JobID string `json:"job_id"`
+	// CreatedUnix is the completion time (Unix seconds); entries within a
+	// key are ordered by it.
+	CreatedUnix int64 `json:"created_unix"`
+	// TargetGB is the data size the session tuned for.
+	TargetGB float64 `json:"target_gb"`
+	// TunedSec / OverheadSec mirror the session report.
+	TunedSec    float64 `json:"tuned_sec"`
+	OverheadSec float64 `json:"overhead_sec"`
+	// BestParams is the tuned configuration as a name→value map.
+	BestParams map[string]float64 `json:"best_params"`
+	// Sensitive and Important are the session's QCSA / IICP artifacts —
+	// query names and parameter names (names, not indices, so entries
+	// survive parameter-table reorderings).
+	Sensitive []string `json:"sensitive,omitempty"`
+	Important []string `json:"important,omitempty"`
+	// Obs are the session's full-application observations.
+	Obs []Observation `json:"obs"`
+}
+
+// Store is the history store: finished sessions keyed by workload
+// fingerprint. Implementations must be safe for concurrent use — the
+// service's workers read and write it concurrently.
+type Store interface {
+	// Put appends an entry under its fingerprint key, evicting the oldest
+	// beyond maxEntriesPerKey.
+	Put(e Entry) error
+	// Get returns the entries stored under key, oldest first (nil when the
+	// key has none).
+	Get(key string) ([]Entry, error)
+	// Keys returns all populated keys, sorted.
+	Keys() ([]string, error)
+}
+
+// MemStore is the in-memory Store used by tests and by service instances
+// that do not need persistence across restarts.
+type MemStore struct {
+	mu sync.RWMutex
+	m  map[string][]Entry
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{m: map[string][]Entry{}} }
+
+// Put implements Store.
+func (s *MemStore) Put(e Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := e.Fingerprint.Key()
+	s.m[k] = capEntries(append(s.m[k], e))
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(key string) ([]Entry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Entry(nil), s.m[key]...), nil
+}
+
+// Keys implements Store.
+func (s *MemStore) Keys() ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.m))
+	for k := range s.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// FileStore persists the history as one JSON file per fingerprint key in a
+// directory, written atomically (temp file + rename), so a service restart
+// resumes with everything past sessions learned.
+type FileStore struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// NewFileStore opens (creating if needed) a file-backed store in dir.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: history dir: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+func (s *FileStore) path(key string) string {
+	return filepath.Join(s.dir, key+".json")
+}
+
+// Put implements Store.
+func (s *FileStore) Put(e Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := e.Fingerprint.Key()
+	entries, err := s.load(key)
+	if err != nil {
+		return err
+	}
+	entries = capEntries(append(entries, e))
+	data, err := json.MarshalIndent(entries, "", " ")
+	if err != nil {
+		return fmt.Errorf("service: encode history: %w", err)
+	}
+	tmp := s.path(key) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("service: write history: %w", err)
+	}
+	if err := os.Rename(tmp, s.path(key)); err != nil {
+		return fmt.Errorf("service: commit history: %w", err)
+	}
+	return nil
+}
+
+// Get implements Store.
+func (s *FileStore) Get(key string) ([]Entry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.load(key)
+}
+
+func (s *FileStore) load(key string) ([]Entry, error) {
+	data, err := os.ReadFile(s.path(key))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("service: read history: %w", err)
+	}
+	var entries []Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("service: decode history %s: %w", key, err)
+	}
+	return entries, nil
+}
+
+// Keys implements Store.
+func (s *FileStore) Keys() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: list history: %w", err)
+	}
+	var out []string
+	for _, de := range names {
+		if n := de.Name(); strings.HasSuffix(n, ".json") {
+			out = append(out, strings.TrimSuffix(n, ".json"))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// capEntries enforces maxEntriesPerKey, keeping the newest.
+func capEntries(entries []Entry) []Entry {
+	sort.SliceStable(entries, func(a, b int) bool {
+		return entries[a].CreatedUnix < entries[b].CreatedUnix
+	})
+	if n := len(entries); n > maxEntriesPerKey {
+		entries = append([]Entry(nil), entries[n-maxEntriesPerKey:]...)
+	}
+	return entries
+}

@@ -1,0 +1,112 @@
+package service
+
+import (
+	"reflect"
+	"testing"
+)
+
+func testEntry(jobID string, created int64) Entry {
+	return Entry{
+		Fingerprint: Fingerprint{Cluster: "arm", Benchmark: "TPC-H", SizeBucket: 7, Techniques: "qid"},
+		JobID:       jobID,
+		CreatedUnix: created,
+		TargetGB:    100,
+		TunedSec:    123.4,
+		OverheadSec: 9876.5,
+		BestParams:  map[string]float64{"spark.executor.cores": 4},
+		Sensitive:   []string{"q3", "q7"},
+		Important:   []string{"spark.executor.cores", "spark.executor.memory"},
+		Obs: []Observation{
+			{
+				Params:    []float64{1, 2, 3},
+				DataGB:    100,
+				Sec:       456.7,
+				QuerySecs: map[string]float64{"q3": 100.5, "q7": 356.2},
+			},
+		},
+	}
+}
+
+func roundTrip(t *testing.T, s Store) {
+	t.Helper()
+	e := testEntry("job-000001", 1000)
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(e.Fingerprint.Key())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d entries, want 1", len(got))
+	}
+	if !reflect.DeepEqual(got[0], e) {
+		t.Fatalf("round trip mismatch:\n got  %+v\n want %+v", got[0], e)
+	}
+	keys, err := s.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != e.Fingerprint.Key() {
+		t.Fatalf("keys = %v", keys)
+	}
+	// Missing key is empty, not an error.
+	if es, err := s.Get("nope"); err != nil || len(es) != 0 {
+		t.Fatalf("missing key: %v, %v", es, err)
+	}
+}
+
+func TestMemStoreRoundTrip(t *testing.T) { roundTrip(t, NewMemStore()) }
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundTrip(t, fs)
+}
+
+func TestFileStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry("job-000002", 2000)
+	if err := fs.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh store over the same directory sees the entry — the service
+	// restart scenario.
+	fs2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs2.Get(e.Fingerprint.Key())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !reflect.DeepEqual(got[0], e) {
+		t.Fatalf("reopen lost the entry: %+v", got)
+	}
+}
+
+func TestStoreCapsEntriesPerKey(t *testing.T) {
+	s := NewMemStore()
+	for i := 0; i < maxEntriesPerKey+10; i++ {
+		if err := s.Put(testEntry("job", int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _ := s.Get(testEntry("job", 0).Fingerprint.Key())
+	if len(got) != maxEntriesPerKey {
+		t.Fatalf("got %d entries, want cap %d", len(got), maxEntriesPerKey)
+	}
+	// Newest survive.
+	if got[len(got)-1].CreatedUnix != int64(maxEntriesPerKey+9) {
+		t.Fatalf("newest entry evicted; last created %d", got[len(got)-1].CreatedUnix)
+	}
+	if got[0].CreatedUnix != 10 {
+		t.Fatalf("oldest kept entry created %d, want 10", got[0].CreatedUnix)
+	}
+}

@@ -23,17 +23,25 @@
 // DisableIICP, DisableDAGP) for ablation, the input data size may change
 // while tuning (Schedule) to exercise the datasize-aware Gaussian process,
 // and CompareBaselines runs the four SOTA tuners on the same problem.
+//
+// For long-running deployments, NewService starts a tuning service: a
+// bounded pool of concurrent sessions with a history store that
+// warm-starts jobs for workloads similar to past ones, and an HTTP facade
+// (see cmd/locat-serve) exposing submit / status / result / cancel and the
+// history over JSON.
 package locat
 
 import (
 	"errors"
 	"fmt"
+	"os"
 	"strings"
 	"time"
 
 	"locat/internal/baselines"
 	"locat/internal/conf"
 	"locat/internal/core"
+	"locat/internal/progress"
 	"locat/internal/sparksim"
 	"locat/internal/workloads"
 )
@@ -63,7 +71,9 @@ type Options struct {
 	// DisableQCSA, DisableIICP and DisableDAGP switch off LOCAT's three
 	// techniques for ablation studies.
 	DisableQCSA, DisableIICP, DisableDAGP bool
-	// Quiet currently has no effect (reserved).
+	// Quiet suppresses the progress log. By default Tune (and the Service)
+	// reports phase transitions, sample counts and the stop condition on
+	// stderr; Quiet silences all of it.
 	Quiet bool
 }
 
@@ -78,8 +88,16 @@ type Result struct {
 	// DefaultSeconds is the latency under Spark defaults, for reference.
 	DefaultSeconds float64
 	// OverheadSeconds is the simulated cluster time consumed by tuning
-	// (the paper's optimization time).
+	// (the paper's optimization time). It splits into SamplingSeconds
+	// (phase-1 full-application sample collection) and SearchSeconds
+	// (phase-2 subspace optimization on the reduced query application).
 	OverheadSeconds float64
+	SamplingSeconds float64
+	SearchSeconds   float64
+	// WarmStarted reports whether the session was seeded with observations
+	// from similar past sessions instead of collecting the full sample set
+	// (always false for a direct Tune call; the Service sets it).
+	WarmStarted bool
 	// Runs is the number of tuning executions (full application + RQA).
 	Runs int
 	// SensitiveQueries lists the configuration-sensitive queries QCSA kept
@@ -170,6 +188,9 @@ func Tune(o Options) (*Result, error) {
 	opts.UseIICP = !o.DisableIICP
 	opts.UseDAGP = !o.DisableDAGP
 	opts.DataSchedule = o.Schedule
+	if !o.Quiet {
+		opts.Logf = progress.New(os.Stderr, "locat:")
+	}
 
 	start := time.Now()
 	rep, err := core.New(sim, app, opts).Tune(o.DataSizeGB)
@@ -183,6 +204,9 @@ func Tune(o Options) (*Result, error) {
 		TunedSeconds:    rep.TunedSec,
 		DefaultSeconds:  sim.NoiselessAppTime(app, cl.Space().Default(), o.DataSizeGB),
 		OverheadSeconds: rep.OverheadSec,
+		SamplingSeconds: rep.SamplingSec,
+		SearchSeconds:   rep.SearchSec,
+		WarmStarted:     rep.WarmStarted,
 		Runs:            rep.Evaluations(),
 		Elapsed:         time.Since(start),
 	}

@@ -1,0 +1,232 @@
+package locat
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"locat/internal/progress"
+	"locat/internal/service"
+)
+
+// ServiceOptions configure a tuning Service.
+type ServiceOptions struct {
+	// Workers is the maximum number of tuning sessions running
+	// concurrently (default 2). Further submissions queue.
+	Workers int
+	// HistoryDir, when non-empty, persists the tuning history to one JSON
+	// file per workload fingerprint in that directory, so warm starts
+	// survive restarts. Empty keeps the history in memory.
+	HistoryDir string
+	// QueueCap bounds the submission backlog (default 256).
+	QueueCap int
+	// Quiet suppresses the service's progress log on stderr.
+	Quiet bool
+}
+
+// JobState is a job's lifecycle position: "queued", "running", "succeeded",
+// "failed" or "cancelled".
+type JobState string
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool { return service.State(s).Terminal() }
+
+// JobStatus is a snapshot of a submitted job.
+type JobStatus struct {
+	// ID is the handle Submit returned.
+	ID string
+	// State is the lifecycle position.
+	State JobState
+	// Err holds the failure message of a failed job.
+	Err string
+	// Fingerprint is the workload-fingerprint key the job's history is
+	// stored under.
+	Fingerprint string
+	// Submitted, Started and Finished are the lifecycle timestamps
+	// (Started/Finished are zero while not yet reached).
+	Submitted, Started, Finished time.Time
+}
+
+// Service is a long-running tuning service: a bounded pool of concurrent
+// sessions plus a history store of finished ones, keyed by workload
+// fingerprint. Sessions for workloads similar to past ones (same cluster,
+// benchmark and technique set, input size within a neighboring power-of-two
+// bucket) are warm-started: the datasize-aware GP is seeded with retrieved
+// observations and the QCSA / IICP artifacts are reused, so the session
+// skips most of the full-application sample collection — the dominant part
+// of the paper's optimization time.
+//
+//	svc, _ := locat.NewService(locat.ServiceOptions{Workers: 4})
+//	defer svc.Close()
+//	id, _ := svc.Submit(locat.Options{Benchmark: "TPC-H", DataSizeGB: 100})
+//	res, _ := svc.Result(id) // blocks; later similar jobs get cheaper
+type Service struct {
+	svc *service.Service
+}
+
+// NewService starts a tuning service.
+func NewService(o ServiceOptions) (*Service, error) {
+	cfg := service.Config{Workers: o.Workers, QueueCap: o.QueueCap}
+	if o.HistoryDir != "" {
+		fs, err := service.NewFileStore(o.HistoryDir)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Store = fs
+	}
+	if !o.Quiet {
+		cfg.Logf = progress.New(os.Stderr, "locat-serve:")
+	}
+	return &Service{svc: service.New(cfg)}, nil
+}
+
+// specOf maps the public Options onto a service job spec.
+func specOf(o Options) (service.JobSpec, error) {
+	if o.Schedule != nil {
+		return service.JobSpec{}, fmt.Errorf("locat: service jobs do not support Schedule; tune with a fixed target size (warm starts cover the size-change scenario)")
+	}
+	return service.JobSpec{
+		Cluster:       o.Cluster,
+		Benchmark:     o.Benchmark,
+		DataSizeGB:    o.DataSizeGB,
+		Seed:          o.Seed,
+		NQCSA:         o.NQCSA,
+		NIICP:         o.NIICP,
+		MaxIterations: o.MaxIterations,
+		DisableQCSA:   o.DisableQCSA,
+		DisableIICP:   o.DisableIICP,
+		DisableDAGP:   o.DisableDAGP,
+	}, nil
+}
+
+// Submit enqueues a tuning job and returns its ID without blocking.
+func (s *Service) Submit(o Options) (string, error) {
+	spec, err := specOf(o)
+	if err != nil {
+		return "", err
+	}
+	return s.svc.Submit(spec)
+}
+
+// Status returns the job's current snapshot.
+func (s *Service) Status(id string) (JobStatus, error) {
+	st, err := s.svc.Status(id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	out := JobStatus{
+		ID:          st.ID,
+		State:       JobState(st.State),
+		Err:         st.Error,
+		Fingerprint: st.Fingerprint,
+		Submitted:   st.Submitted,
+	}
+	if st.Started != nil {
+		out.Started = *st.Started
+	}
+	if st.Finished != nil {
+		out.Finished = *st.Finished
+	}
+	return out, nil
+}
+
+// Result blocks until the job finishes and returns its tuning result; a
+// failed or cancelled job returns an error.
+func (s *Service) Result(id string) (*Result, error) {
+	jr, err := s.svc.Result(id)
+	if err != nil {
+		return nil, err
+	}
+	st, err := s.svc.Status(id)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		best:             jr.BestConfig,
+		BestParams:       jr.BestParams,
+		TunedSeconds:     jr.TunedSec,
+		DefaultSeconds:   jr.DefaultSec,
+		OverheadSeconds:  jr.OverheadSec,
+		SamplingSeconds:  jr.SamplingSec,
+		SearchSeconds:    jr.SearchSec,
+		WarmStarted:      jr.WarmStarted,
+		Runs:             jr.FullRuns + jr.RQARuns,
+		SensitiveQueries: jr.SensitiveQueries,
+		ImportantParams:  jr.ImportantParams,
+	}
+	if st.Started != nil && st.Finished != nil {
+		res.Elapsed = st.Finished.Sub(*st.Started)
+	}
+	return res, nil
+}
+
+// Cancel requests cancellation: queued jobs never start and running jobs
+// stop at the next evaluation boundary.
+func (s *Service) Cancel(id string) error { return s.svc.Cancel(id) }
+
+// Jobs returns snapshots of all jobs in submission order.
+func (s *Service) Jobs() []JobStatus {
+	sts := s.svc.Jobs()
+	out := make([]JobStatus, 0, len(sts))
+	for _, st := range sts {
+		j := JobStatus{
+			ID:          st.ID,
+			State:       JobState(st.State),
+			Err:         st.Error,
+			Fingerprint: st.Fingerprint,
+			Submitted:   st.Submitted,
+		}
+		if st.Started != nil {
+			j.Started = *st.Started
+		}
+		if st.Finished != nil {
+			j.Finished = *st.Finished
+		}
+		out = append(out, j)
+	}
+	return out
+}
+
+// HistoryEntry summarizes one stored session in the history store.
+type HistoryEntry struct {
+	// Key is the workload-fingerprint key.
+	Key string
+	// JobID produced the entry; Created is its completion time.
+	JobID   string
+	Created time.Time
+	// TargetGB, TunedSeconds and OverheadSeconds mirror the session result.
+	TargetGB        float64
+	TunedSeconds    float64
+	OverheadSeconds float64
+	// Observations is the number of stored tuning runs.
+	Observations int
+}
+
+// History lists the history store's contents.
+func (s *Service) History() ([]HistoryEntry, error) {
+	sums, err := s.svc.History()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]HistoryEntry, 0, len(sums))
+	for _, h := range sums {
+		out = append(out, HistoryEntry{
+			Key:             h.Key,
+			JobID:           h.JobID,
+			Created:         time.Unix(h.CreatedUnix, 0),
+			TargetGB:        h.TargetGB,
+			TunedSeconds:    h.TunedSec,
+			OverheadSeconds: h.OverheadSec,
+			Observations:    h.Obs,
+		})
+	}
+	return out, nil
+}
+
+// Handler returns the service's HTTP+JSON API (see cmd/locat-serve).
+func (s *Service) Handler() http.Handler { return s.svc.Handler() }
+
+// Close stops accepting submissions, cancels queued jobs and waits for
+// running sessions to finish.
+func (s *Service) Close() { s.svc.Close() }

@@ -1,0 +1,141 @@
+package locat
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestServiceFacade(t *testing.T) {
+	svc, err := NewService(ServiceOptions{Workers: 2, Quiet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// Cold job.
+	o := fastOpts()
+	idA, err := svc.Submit(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := svc.Status(idA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != idA || st.State.Terminal() && st.State != JobState("succeeded") {
+		t.Fatalf("early status %+v", st)
+	}
+	resA, err := svc.Result(idA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.WarmStarted {
+		t.Fatal("first job warm")
+	}
+	if len(resA.BestParams) != 38 || resA.TunedSeconds >= resA.DefaultSeconds {
+		t.Fatalf("degenerate result %+v", resA)
+	}
+	if resA.SamplingSeconds <= 0 || resA.SearchSeconds <= 0 {
+		t.Fatal("missing per-phase overhead")
+	}
+	if resA.SparkConf() == "" {
+		t.Fatal("service result cannot render spark-defaults.conf")
+	}
+
+	// Neighboring-size job warm-starts and costs less.
+	o2 := fastOpts()
+	o2.DataSizeGB = 140
+	o2.Seed = 4
+	idB, err := svc.Submit(o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := svc.Result(idB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resB.WarmStarted {
+		t.Fatal("neighboring-size job not warm-started")
+	}
+	if resB.OverheadSeconds >= resA.OverheadSeconds {
+		t.Fatalf("warm overhead %.0f not below cold %.0f",
+			resB.OverheadSeconds, resA.OverheadSeconds)
+	}
+
+	// History and job listing reflect both sessions.
+	hist, err := svc.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 2 {
+		t.Fatalf("history %+v, want 2 entries", hist)
+	}
+	jobs := svc.Jobs()
+	if len(jobs) != 2 || jobs[0].ID != idA || jobs[1].ID != idB {
+		t.Fatalf("job listing %+v", jobs)
+	}
+	for _, j := range jobs {
+		if j.State != JobState("succeeded") || j.Fingerprint == "" {
+			t.Fatalf("job %+v", j)
+		}
+	}
+}
+
+func TestServiceRejectsSchedule(t *testing.T) {
+	svc, err := NewService(ServiceOptions{Workers: 1, Quiet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	o := fastOpts()
+	o.Schedule = func(run int) float64 { return 100 }
+	if _, err := svc.Submit(o); err == nil {
+		t.Fatal("Schedule accepted by the service")
+	}
+}
+
+// TestQuietControlsProgressLog verifies the Quiet option actually gates the
+// progress logger (it was a documented no-op before the logger existed).
+func TestQuietControlsProgressLog(t *testing.T) {
+	captureStderr := func(f func()) string {
+		old := os.Stderr
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stderr = w
+		done := make(chan string)
+		go func() {
+			data, _ := io.ReadAll(r)
+			done <- string(data)
+		}()
+		f()
+		w.Close()
+		os.Stderr = old
+		return <-done
+	}
+
+	o := Options{Benchmark: "Scan", NQCSA: 6, NIICP: 5, MaxIterations: 5, Seed: 9}
+
+	o.Quiet = true
+	quiet := captureStderr(func() {
+		if _, err := Tune(o); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if strings.Contains(quiet, "phase") {
+		t.Fatalf("Quiet session logged progress: %q", quiet)
+	}
+
+	o.Quiet = false
+	loud := captureStderr(func() {
+		if _, err := Tune(o); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !strings.Contains(loud, "phase 1") || !strings.Contains(loud, "locat:") {
+		t.Fatalf("non-Quiet session logged nothing useful: %q", loud)
+	}
+}

@@ -15,6 +15,7 @@ func fastOpts() Options {
 		NQCSA:         10,
 		NIICP:         8,
 		MaxIterations: 8,
+		Quiet:         true,
 	}
 }
 
@@ -44,7 +45,7 @@ func TestTunePublicAPI(t *testing.T) {
 }
 
 func TestTuneDefaults(t *testing.T) {
-	o := Options{NQCSA: 8, NIICP: 6, MaxIterations: 6, Benchmark: "Scan"}
+	o := Options{NQCSA: 8, NIICP: 6, MaxIterations: 6, Benchmark: "Scan", Quiet: true}
 	res, err := Tune(o)
 	if err != nil {
 		t.Fatal(err)
@@ -106,7 +107,7 @@ func TestCompareBaselines(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full baseline budgets")
 	}
-	o := Options{Benchmark: "Aggregation", DataSizeGB: 100, Seed: 2}
+	o := Options{Benchmark: "Aggregation", DataSizeGB: 100, Seed: 2, Quiet: true}
 	rs, err := CompareBaselines(o)
 	if err != nil {
 		t.Fatal(err)

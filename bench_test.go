@@ -9,12 +9,15 @@
 package locat
 
 import (
+	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"testing"
 
 	"locat/internal/bo"
 	"locat/internal/experiments"
+	"locat/internal/gp"
 	"locat/internal/qcsa"
 	"locat/internal/sparksim"
 	"locat/internal/stat"
@@ -196,6 +199,75 @@ func BenchmarkAblationDAGP(b *testing.B) {
 	}
 	b.ReportMetric(with, "tuned-DAGP")
 	b.ReportMetric(without, "tuned-confonly")
+}
+
+// --- Incremental surrogate benches ---
+//
+// One BO iteration must update the surrogate with the newest observation.
+// BenchmarkSurrogateRefit measures the old path — refitting the GP from
+// scratch, an O(n³) Cholesky — and BenchmarkSurrogateIncremental the new
+// one: gp.Append's O(n²) rank-1 border extension of the cached factor. The
+// incremental figure includes a full Clone of the base model per iteration
+// (so each append starts from exactly n points), which overstates the real
+// in-loop cost; the speedup below is therefore a floor. n is the training-
+// set size — warm-started service sessions land at 50+ immediately, and
+// long baseline budgets push past 150.
+
+// surrogateTrainingSet draws n observations of a smooth objective over the
+// unit cube with a data-size context appended — the DAGP input shape.
+func surrogateTrainingSet(n, dim int) ([][]float64, []float64) {
+	rng := newBenchRng(42)
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := make([]float64, dim)
+		var s float64
+		for j := range x {
+			x[j] = rng.Float64()
+			s += math.Sin(3 * x[j] * float64(j+1))
+		}
+		xs[i] = x
+		ys[i] = s + rng.NormFloat64()*0.05
+	}
+	return xs, ys
+}
+
+// surrogateSizes are the training-set scales of the per-iteration cost
+// comparison (ISSUE 2 acceptance: ≥3× at n=300).
+var surrogateSizes = []int{50, 150, 300}
+
+func BenchmarkSurrogateRefit(b *testing.B) {
+	for _, n := range surrogateSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			xs, ys := surrogateTrainingSet(n, 9)
+			h := gp.DefaultHyper()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := gp.Fit(xs, ys, h); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSurrogateIncremental(b *testing.B) {
+	for _, n := range surrogateSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			xs, ys := surrogateTrainingSet(n, 9)
+			base, err := gp.Fit(xs[:n-1], ys[:n-1], gp.DefaultHyper())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g := base.Clone()
+				if err := g.Append(xs[n-1], ys[n-1]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkSimulatorThroughput measures raw simulator speed: full TPC-DS

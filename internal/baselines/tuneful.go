@@ -55,13 +55,17 @@ func (t *Tuneful) Tune(sim *sparksim.Simulator, app *sparksim.Application, targe
 			return b.run(c)
 		},
 	}, bo.Options{
-		InitPoints:     5,
-		MinIter:        t.BOIter / 2,
-		MaxIter:        t.BOIter,
-		EIStopFrac:     0.05,
-		MCMCSamples:    3,
-		Candidates:     300,
-		Seed:           seed,
+		InitPoints:  5,
+		MinIter:     t.BOIter / 2,
+		MaxIter:     t.BOIter,
+		EIStopFrac:  0.05,
+		MCMCSamples: 3,
+		Candidates:  300,
+		Seed:        seed,
+		// The long BO tail is where Tuneful's cost lives: cap the training
+		// set and hold hyperparameters for 4 iterations so three out of
+		// every four surrogate updates are O(n²) incremental appends to the
+		// live GPs rather than full refits.
 		MaxModelPoints: 90,
 		HyperEvery:     4,
 	})

@@ -15,7 +15,9 @@ package bo
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 
 	"locat/internal/gp"
 	"locat/internal/stat"
@@ -38,9 +40,11 @@ type Problem struct {
 	// Eval evaluates the objective at x under the given context.
 	Eval func(x, ctx []float64) float64
 	// Context, if non-nil, returns the context vector for iteration it
-	// (0-based, counting every evaluation including warm start). LOCAT's
-	// DAGP supplies the current input data size here. The returned slice
-	// must have a fixed length across iterations.
+	// (0-based, counting every evaluation including warm start — injected
+	// Options.Init steps count, so a run seeded with k prior observations
+	// sees its first fresh evaluation at it = k). LOCAT's DAGP supplies the
+	// current input data size here. The returned slice must have a fixed
+	// length across iterations.
 	Context func(it int) []float64
 }
 
@@ -70,11 +74,16 @@ type Options struct {
 	// MaxModelPoints caps the GP training-set size; when history exceeds
 	// it, the incumbent-best half and the most recent half are kept
 	// (0 = unlimited). Long-budget baselines use this to keep the cubic
-	// Cholesky cost bounded.
+	// Cholesky cost bounded. The trim is applied when hyperparameters are
+	// (re)sampled, so between HyperEvery refreshes the live models may grow
+	// up to HyperEvery-1 points past the cap.
 	MaxModelPoints int
-	// HyperEvery re-samples GP hyperparameters only every k-th iteration,
-	// reusing the previous posterior samples in between (0 or 1 = every
-	// iteration).
+	// HyperEvery re-samples GP hyperparameters only every k-th iteration
+	// (0 or 1 = every iteration). Between resamples the posterior samples
+	// AND their fitted GPs are kept alive: each new observation is appended
+	// to the live models with an O(n²) incremental Cholesky extension
+	// (gp.Append) instead of the O(n³) refit a resample pays, so values
+	// above 1 make the per-iteration surrogate cost quadratic.
 	HyperEvery int
 	// Stop, if non-nil, is polled before every evaluation; returning true
 	// aborts the loop immediately (the partial Result is still valid).
@@ -155,31 +164,64 @@ func Minimize(p Problem, opts Options) Result {
 
 	stopped := func() bool { return opts.Stop != nil && opts.Stop() }
 
+	// Context indices count every evaluation, including the injected Init
+	// steps (see Problem.Context).
+	ctxBase := len(opts.Init)
+
 	// Warm start: LHS over the decision cube.
 	for _, x := range stat.LatinHypercube(opts.InitPoints, p.Dim, rng) {
 		if res.Evals >= opts.MaxIter || stopped() {
 			break
 		}
-		record(x, ctxAt(res.Evals), 0)
+		record(x, ctxAt(ctxBase+res.Evals), 0)
 	}
 
-	// BO iterations.
-	var hypers []gp.Hyper
+	// BO iterations. Between hyperparameter resamples the fitted GPs stay
+	// live: each fresh observation is appended incrementally (O(n²) per
+	// model) instead of refitting every model from scratch (O(n³)). A
+	// resample — where the training set is also re-trimmed — pays the full
+	// refit, amortized over HyperEvery iterations.
+	var (
+		models    []*gp.GP    // live surrogates, one per usable hyper sample
+		xs        [][]float64 // training inputs the live models hold
+		ys        []float64   // training targets the live models hold
+		modelMark int         // len(res.History) already folded into models
+	)
 	iterSinceSample := 0
 	for res.Evals < opts.MaxIter && !stopped() {
-		xs, ys := modelData(trimHistory(res.History, opts.MaxModelPoints))
-		if hypers == nil || opts.HyperEvery <= 1 || iterSinceSample >= opts.HyperEvery {
-			hypers = gp.SampleHyper(xs, ys, opts.MCMCSamples, rng)
+		if len(models) == 0 || opts.HyperEvery <= 1 || iterSinceSample >= opts.HyperEvery {
+			xs, ys = modelData(trimHistory(res.History, opts.MaxModelPoints))
+			hypers := gp.SampleHyper(xs, ys, opts.MCMCSamples, rng)
 			iterSinceSample = 0
+			models = models[:0]
+			for _, h := range hypers {
+				if m, err := gp.Fit(xs, ys, h); err == nil {
+					models = append(models, m)
+				}
+			}
+			modelMark = len(res.History)
+		} else if modelMark < len(res.History) {
+			newXs, newYs := modelData(res.History[modelMark:])
+			xs = append(xs, newXs...)
+			ys = append(ys, newYs...)
+			kept := models[:0]
+			for _, m := range models {
+				if err := m.AppendBatch(newXs, newYs); err == nil {
+					kept = append(kept, m)
+					continue
+				}
+				// Exact-refit fallback: the extension can fail on a
+				// near-singular border; the hyper sample itself may still
+				// support a direct factorization.
+				if m2, err := gp.Fit(xs, ys, m.Hyper()); err == nil {
+					kept = append(kept, m2)
+				}
+			}
+			models = kept
+			modelMark = len(res.History)
 		}
 		iterSinceSample++
-		models := make([]*gp.GP, 0, len(hypers))
-		for _, h := range hypers {
-			if m, err := gp.Fit(xs, ys, h); err == nil {
-				models = append(models, m)
-			}
-		}
-		ctx := ctxAt(res.Evals)
+		ctx := ctxAt(ctxBase + res.Evals)
 		var bestCand []float64
 		bestEI := math.Inf(-1)
 		if len(models) > 0 {
@@ -265,23 +307,61 @@ func proposeEI(models []*gp.GP, res Result, dim int, ctx []float64, opts Options
 		}
 	}
 
+	eis := scoreEI(models, cands, dim, ctx, res.BestY)
 	var bestX []float64
 	bestEI := math.Inf(-1)
-	xin := make([]float64, dim+len(ctx))
-	for _, c := range cands {
-		copy(xin, c)
-		copy(xin[dim:], ctx)
-		ei := 0.0
-		for _, m := range models {
-			ei += expectedImprovement(m, xin, res.BestY)
-		}
-		ei /= float64(len(models))
+	for i, ei := range eis {
 		if ei > bestEI {
 			bestEI = ei
-			bestX = c
+			bestX = cands[i]
 		}
 	}
 	return append([]float64(nil), bestX...), bestEI
+}
+
+// scoreEI evaluates the EI-MCMC acquisition (EI averaged over the
+// hyperparameter posterior samples) for every candidate, fanning the pool
+// out over a goroutine pool sized to GOMAXPROCS. GP prediction is read-only,
+// the workers write disjoint chunks of the result, and candidate order is
+// preserved — the scores (and therefore the argmax and the optimizer
+// trajectory) are identical to a serial scan.
+func scoreEI(models []*gp.GP, cands [][]float64, dim int, ctx []float64, best float64) []float64 {
+	out := make([]float64, len(cands))
+	score := func(lo, hi int) {
+		xin := make([]float64, dim+len(ctx))
+		copy(xin[dim:], ctx)
+		for i := lo; i < hi; i++ {
+			copy(xin, cands[i])
+			ei := 0.0
+			for _, m := range models {
+				ei += expectedImprovement(m, xin, best)
+			}
+			out[i] = ei / float64(len(models))
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 {
+		score(0, len(cands))
+		return out
+	}
+	chunk := (len(cands) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(cands); lo += chunk {
+		hi := lo + chunk
+		if hi > len(cands) {
+			hi = len(cands)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			score(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
 }
 
 // expectedImprovement is EI(x) = (f* - μ)Φ(z) + σφ(z), z = (f* - μ)/σ, for

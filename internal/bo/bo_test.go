@@ -211,3 +211,71 @@ func TestMaxModelPointsAndHyperEvery(t *testing.T) {
 		t.Fatalf("BestY = %v with capped model; want < 0.05", res.BestY)
 	}
 }
+
+func TestContextIndexCountsInitSteps(t *testing.T) {
+	// Problem.Context documents "counting every evaluation including warm
+	// start": with k injected Init steps, the first fresh evaluation must be
+	// iteration k, not 0 — otherwise a warm-started online session replays
+	// the data-size schedule from the beginning.
+	init := []Step{
+		{X: []float64{0.1}, Ctx: []float64{0}, Y: 1},
+		{X: []float64{0.2}, Ctx: []float64{1}, Y: 2},
+		{X: []float64{0.3}, Ctx: []float64{2}, Y: 3},
+	}
+	var seen []int
+	p := Problem{
+		Dim:  1,
+		Eval: sphere([]float64{0.5}),
+		Context: func(it int) []float64 {
+			seen = append(seen, it)
+			return []float64{float64(it)}
+		},
+	}
+	opts := DefaultOptions()
+	opts.InitPoints = 2
+	opts.MaxIter = 6
+	opts.EIStopFrac = 0
+	opts.Seed = 10
+	opts.Init = init
+	res := Minimize(p, opts)
+	if res.Evals != 6 {
+		t.Fatalf("Evals = %d; want 6", res.Evals)
+	}
+	for i, s := range res.History[len(init):] {
+		want := float64(len(init) + i)
+		if len(s.Ctx) != 1 || s.Ctx[0] != want {
+			t.Fatalf("fresh evaluation %d got ctx %v; want [%v]", i, s.Ctx, want)
+		}
+	}
+	for _, it := range seen {
+		if it < len(init) {
+			t.Fatalf("context index %d overlaps the injected Init steps", it)
+		}
+	}
+}
+
+func TestIncrementalModelsMatchRefit(t *testing.T) {
+	// HyperEvery > 1 now keeps live GPs and appends observations
+	// incrementally. Because the extended factor matches a fresh
+	// factorization to rounding error, the run must still optimize and stay
+	// deterministic.
+	obj := sphere([]float64{0.25, 0.75})
+	opts := DefaultOptions()
+	opts.MaxIter = 30
+	opts.EIStopFrac = 0
+	opts.Seed = 11
+	opts.HyperEvery = 5
+	a := Minimize(Problem{Dim: 2, Eval: obj}, opts)
+	b := Minimize(Problem{Dim: 2, Eval: obj}, opts)
+	if a.BestY > 0.02 {
+		t.Fatalf("incremental run BestY = %v; want < 0.02", a.BestY)
+	}
+	if a.BestY != b.BestY || a.Evals != b.Evals {
+		t.Fatalf("incremental runs diverged: %v/%d vs %v/%d", a.BestY, a.Evals, b.BestY, b.Evals)
+	}
+	for i := range a.History {
+		if a.History[i].Y != b.History[i].Y {
+			t.Fatalf("history diverged at %d", i)
+		}
+	}
+}

@@ -93,6 +93,14 @@ type Options struct {
 	EIStopFrac float64
 	// MCMCSamples is the EI-MCMC hyperparameter sample count.
 	MCMCSamples int
+	// HyperEvery re-samples the GP hyperparameters every k-th BO iteration
+	// (default 3). In between, the surrogate keeps one live GP per posterior
+	// sample and appends new observations with an O(n²) incremental
+	// Cholesky extension instead of the O(n³) refit — the hot-path saving
+	// that lets warm-started sessions carry dozens of prior observations
+	// without blowing the tuning-overhead budget. 1 restores a resample
+	// (and full refit) on every iteration.
+	HyperEvery int
 	// UseQCSA, UseIICP and UseDAGP toggle the three techniques
 	// (all true under DefaultOptions; the ablations of Figures 15/21
 	// disable them selectively).
@@ -135,6 +143,7 @@ func DefaultOptions() Options {
 		MaxIter:     60,
 		EIStopFrac:  0.10,
 		MCMCSamples: 5,
+		HyperEvery:  3,
 		UseQCSA:     true,
 		UseIICP:     true,
 		UseDAGP:     true,
@@ -216,6 +225,9 @@ func New(sim *sparksim.Simulator, app *sparksim.Application, opts Options) *Tune
 	}
 	if opts.MCMCSamples <= 0 {
 		opts.MCMCSamples = 5
+	}
+	if opts.HyperEvery <= 0 {
+		opts.HyperEvery = 3
 	}
 	if opts.WarmFreshRuns <= 0 {
 		opts.WarmFreshRuns = 4
@@ -312,6 +324,7 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 			MaxIter:     t.opts.NQCSA,
 			EIStopFrac:  0, // no early stop while collecting samples
 			MCMCSamples: t.opts.MCMCSamples,
+			HyperEvery:  t.opts.HyperEvery,
 			Candidates:  400,
 			Seed:        t.opts.Seed,
 			Stop:        t.opts.Stop,
@@ -414,7 +427,13 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 	// The phase-2 base (which pins every non-important parameter) is chosen
 	// by DAGP posterior mean over the phase-1 observations rather than by
 	// the noisy observed minimum.
-	bestPhase1 := space.Decode(t.bestOfHistory(p1res, targetGB))
+	// In the warm path p1res.History leads with the prior observations —
+	// exactly the FitTransfer base.
+	warmN := 0
+	if prior != nil {
+		warmN = len(prior.Obs)
+	}
+	bestPhase1 := space.Decode(t.bestOfHistory(p1res, warmN, targetGB))
 	tuneIdx := allIndices(space.Dim())
 	if t.opts.UseIICP {
 		if prior != nil && len(prior.Important) > 0 {
@@ -498,6 +517,7 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 		MaxIter:     t.opts.MaxIter,
 		EIStopFrac:  t.opts.EIStopFrac,
 		MCMCSamples: t.opts.MCMCSamples,
+		HyperEvery:  t.opts.HyperEvery,
 		Candidates:  800,
 		Init:        init,
 		Seed:        t.opts.Seed + 1,
@@ -508,7 +528,13 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 	}
 
 	// ---- Final selection. ----
-	rep.Best = t.pickBest(sub, p2res, targetGB)
+	// For a warm session the init steps (prior observations re-expressed on
+	// the RQA scale plus the phase-1 anchors) are the transfer base.
+	p2warm := 0
+	if prior != nil {
+		p2warm = len(init)
+	}
+	rep.Best = t.pickBest(sub, p2res, p2warm, targetGB)
 	rep.TunedSec = t.sim.NoiselessAppTime(t.app, rep.Best, targetGB)
 	t.logf("done: %d runs, %.0f s overhead (%.0f sampling + %.0f search), tuned latency %.0f s",
 		rep.Evaluations(), rep.OverheadSec, rep.SamplingSec, rep.SearchSec, rep.TunedSec)
@@ -517,8 +543,12 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 
 // dagpRank fits a DAGP on the steps and returns the decision point with the
 // lowest posterior mean at targetGB — the de-noised, size-transferred
-// incumbent. ok is false when the model cannot be fitted.
-func dagpRank(hist []bo.Step, targetGB float64, seed int64) (best []float64, ok bool) {
+// incumbent. ok is false when the model cannot be fitted. warmN is the
+// number of leading steps that came from a warm-start prior: when positive,
+// hyperparameters are inferred on that prior alone and the session's own
+// runs arrive as a batch append (dagp.FitTransfer), so the MCMC's repeated
+// cubic refits do not grow with the session length.
+func dagpRank(hist []bo.Step, warmN int, targetGB float64, seed int64) (best []float64, ok bool) {
 	rng := rand.New(rand.NewSource(seed))
 	var ds []dagp.Sample
 	for _, s := range hist {
@@ -528,7 +558,13 @@ func dagpRank(hist []bo.Step, targetGB float64, seed int64) (best []float64, ok 
 		}
 		ds = append(ds, dagp.Sample{X: s.X, DataGB: size, Sec: s.Y})
 	}
-	model, err := dagp.Fit(ds, rng)
+	var model *dagp.Model
+	var err error
+	if warmN > 0 && warmN < len(ds) {
+		model, err = dagp.FitTransfer(ds[:warmN], ds[warmN:], rng)
+	} else {
+		model, err = dagp.Fit(ds, rng)
+	}
 	if err != nil {
 		return nil, false
 	}
@@ -548,11 +584,11 @@ func dagpRank(hist []bo.Step, targetGB float64, seed int64) (best []float64, ok 
 // (single runs are noisy; the GP pools information across neighbours) and
 // transfers observations taken at other data sizes to the target size
 // (Section 3.4's online adaptation).
-func (t *Tuner) pickBest(sub *conf.Subspace, res bo.Result, targetGB float64) conf.Config {
+func (t *Tuner) pickBest(sub *conf.Subspace, res bo.Result, warmN int, targetGB float64) conf.Config {
 	if !t.opts.UseDAGP {
 		return sub.Decode(res.BestX)
 	}
-	if x, ok := dagpRank(res.History, targetGB, t.opts.Seed+2); ok {
+	if x, ok := dagpRank(res.History, warmN, targetGB, t.opts.Seed+2); ok {
 		return sub.Decode(x)
 	}
 	return sub.Decode(res.BestX)
@@ -561,11 +597,11 @@ func (t *Tuner) pickBest(sub *conf.Subspace, res bo.Result, targetGB float64) co
 // bestOfHistory returns the decision point of res with the lowest DAGP
 // posterior mean at targetGB (falling back to the observed best when the
 // model cannot be fitted or DAGP is disabled).
-func (t *Tuner) bestOfHistory(res bo.Result, targetGB float64) []float64 {
+func (t *Tuner) bestOfHistory(res bo.Result, warmN int, targetGB float64) []float64 {
 	if !t.opts.UseDAGP {
 		return res.BestX
 	}
-	if x, ok := dagpRank(res.History, targetGB, t.opts.Seed+3); ok {
+	if x, ok := dagpRank(res.History, warmN, targetGB, t.opts.Seed+3); ok {
 		return x
 	}
 	return res.BestX

@@ -44,15 +44,11 @@ type Model struct {
 	g *gp.GP
 }
 
-// Fit trains the DAGP on the samples, marginalizing hyperparameters by
-// picking the posterior sample with the highest marginal likelihood from a
-// short MCMC run.
-func Fit(samples []Sample, rng *rand.Rand) (*Model, error) {
-	if len(samples) < 2 {
-		return nil, errors.New("dagp: need at least 2 samples")
-	}
-	xs := make([][]float64, len(samples))
-	ys := make([]float64, len(samples))
+// encode flattens samples into GP training data: configuration vector with
+// the normalized data size appended.
+func encode(samples []Sample) (xs [][]float64, ys []float64) {
+	xs = make([][]float64, len(samples))
+	ys = make([]float64, len(samples))
 	for i, s := range samples {
 		x := make([]float64, 0, len(s.X)+1)
 		x = append(x, s.X...)
@@ -60,6 +56,17 @@ func Fit(samples []Sample, rng *rand.Rand) (*Model, error) {
 		xs[i] = x
 		ys[i] = s.Sec
 	}
+	return xs, ys
+}
+
+// Fit trains the DAGP on the samples, marginalizing hyperparameters by
+// picking the posterior sample with the highest marginal likelihood from a
+// short MCMC run.
+func Fit(samples []Sample, rng *rand.Rand) (*Model, error) {
+	if len(samples) < 2 {
+		return nil, errors.New("dagp: need at least 2 samples")
+	}
+	xs, ys := encode(samples)
 	hypers := gp.SampleHyper(xs, ys, 5, rng)
 	var best *gp.GP
 	bestML := 0.0
@@ -76,6 +83,49 @@ func Fit(samples []Sample, rng *rand.Rand) (*Model, error) {
 		return nil, errors.New("dagp: no usable hyperparameter sample")
 	}
 	return &Model{g: best}, nil
+}
+
+// Append extends a fitted model with additional observations without
+// refitting: each costs one O(n²) incremental Cholesky extension under the
+// hyperparameters the model was fitted with (gp.AppendBatch). On error the
+// model is unchanged and still usable.
+func (m *Model) Append(samples ...Sample) error {
+	xs, ys := encode(samples)
+	return m.g.AppendBatch(xs, ys)
+}
+
+// N returns the number of observations the model holds.
+func (m *Model) N() int { return m.g.N() }
+
+// FitTransfer builds a DAGP for the warm-start path: hyperparameters are
+// inferred on base — the prior observations a SelectTransfer call ranked,
+// which dominate the training set — and the fresh samples then arrive as a
+// batch append under those hyperparameters. The expensive part of Fit is
+// the MCMC's repeated O(n³) refits; restricting it to the prior and
+// extending incrementally keeps that cost independent of how many fresh
+// runs the session accumulates. Falls back to a joint Fit when base is too
+// small to infer hyperparameters or the extension is numerically rejected.
+func FitTransfer(base, fresh []Sample, rng *rand.Rand) (*Model, error) {
+	joint := func() (*Model, error) {
+		all := make([]Sample, 0, len(base)+len(fresh))
+		all = append(all, base...)
+		all = append(all, fresh...)
+		return Fit(all, rng)
+	}
+	if len(fresh) == 0 {
+		return Fit(base, rng)
+	}
+	if len(base) < 2 {
+		return joint()
+	}
+	m, err := Fit(base, rng)
+	if err != nil {
+		return joint()
+	}
+	if err := m.Append(fresh...); err != nil {
+		return joint()
+	}
+	return m, nil
 }
 
 // SelectTransfer picks at most max prior observations worth transferring to

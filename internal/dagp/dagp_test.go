@@ -119,3 +119,70 @@ func TestPredictVarianceNonNegative(t *testing.T) {
 		}
 	}
 }
+
+func TestAppendExtendsModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	truth := func(x, gb float64) float64 { return gb / 100 * (1 + 4*(x-0.6)*(x-0.6)) }
+	mk := func(n int) []Sample {
+		out := make([]Sample, 0, n)
+		for i := 0; i < n; i++ {
+			x := rng.Float64()
+			gb := []float64{100, 200, 400}[rng.Intn(3)]
+			out = append(out, Sample{X: []float64{x}, DataGB: gb, Sec: truth(x, gb)})
+		}
+		return out
+	}
+	base := mk(25)
+	fresh := mk(10)
+	m, err := Fit(base, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Append(fresh...); err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 35 {
+		t.Fatalf("N = %d; want 35", m.N())
+	}
+	// The extended model must still be datasize-aware.
+	small, _ := m.Predict([]float64{0.6}, 100)
+	large, _ := m.Predict([]float64{0.6}, 400)
+	if large <= small {
+		t.Fatalf("appended model lost size awareness: %v <= %v", large, small)
+	}
+}
+
+func TestFitTransferMatchesFitQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	truth := func(x, gb float64) float64 { return gb / 100 * (1 + 4*(x-0.55)*(x-0.55)) }
+	var base, fresh []Sample
+	for i := 0; i < 30; i++ {
+		x := rng.Float64()
+		gb := []float64{150, 300}[rng.Intn(2)]
+		base = append(base, Sample{X: []float64{x}, DataGB: gb, Sec: truth(x, gb)})
+	}
+	for i := 0; i < 6; i++ {
+		x := rng.Float64()
+		fresh = append(fresh, Sample{X: []float64{x}, DataGB: 200, Sec: truth(x, 200)})
+	}
+	m, err := FitTransfer(base, fresh, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 36 {
+		t.Fatalf("N = %d; want 36", m.N())
+	}
+	// Prediction at the target size must roughly track the truth around the
+	// optimum — the transfer didn't corrupt the surrogate.
+	got, _ := m.Predict([]float64{0.55}, 200)
+	if math.Abs(got-truth(0.55, 200)) > 0.5 {
+		t.Fatalf("transfer model predicts %v at the optimum; want ≈%v", got, truth(0.55, 200))
+	}
+	// Degenerate splits fall back to a joint fit.
+	if m, err := FitTransfer(base[:1], fresh, rng); err != nil || m.N() != 7 {
+		t.Fatalf("tiny base fallback: %v, n=%v", err, m.N())
+	}
+	if m, err := FitTransfer(base, nil, rng); err != nil || m.N() != 30 {
+		t.Fatalf("no-fresh path: %v", err)
+	}
+}

@@ -11,8 +11,19 @@ import (
 
 // GP is a fitted Gaussian-process regressor. Outputs are standardized
 // internally (zero mean, unit variance); Predict undoes the transform.
+//
+// A fitted GP can be grown one observation at a time with Append (or many
+// with AppendBatch): the cached Cholesky factor of the kernel matrix is
+// border-extended in O(n²) instead of refactored in O(n³), which is what
+// keeps the per-iteration surrogate cost of the BO loop flat as warm-start
+// priors push the training set into the hundreds. The extended model matches
+// a fresh Fit on the same data to rounding error (the factorization
+// recurrences are identical); hyperparameter changes still require a full
+// refit — callers hold hyperparameters fixed between appends (bo.Minimize
+// does so between HyperEvery resamples).
 type GP struct {
 	x     [][]float64
+	y     []float64 // raw targets, kept so Append can re-standardize exactly
 	yMean float64
 	yStd  float64
 	hyp   Hyper
@@ -33,15 +44,10 @@ func Fit(x [][]float64, y []float64, h Hyper) (*GP, error) {
 			return nil, fmt.Errorf("gp: row %d has %d features, want %d", i, len(xi), d)
 		}
 	}
-	g := &GP{x: x, hyp: h}
-	g.yMean = stat.Mean(y)
-	g.yStd = stat.StdDev(y)
-	if g.yStd < 1e-12 {
-		g.yStd = 1
-	}
-	ys := make([]float64, n)
-	for i := range y {
-		ys[i] = (y[i] - g.yMean) / g.yStd
+	g := &GP{
+		x:   append([][]float64(nil), x...),
+		y:   append([]float64(nil), y...),
+		hyp: h,
 	}
 
 	k := mat.NewDense(n, n, nil)
@@ -59,8 +65,88 @@ func Fit(x [][]float64, y []float64, h Hyper) (*GP, error) {
 		return nil, fmt.Errorf("gp: covariance not PD: %w", err)
 	}
 	g.chol = chol
-	g.alpha = chol.SolveVec(ys)
+	g.refreshAlpha()
 	return g, nil
+}
+
+// refreshAlpha recomputes the output standardization and α = (K+σ_n²I)⁻¹·y
+// from the current factor and raw targets — an O(n²) triangular solve.
+func (g *GP) refreshAlpha() {
+	g.yMean = stat.Mean(g.y)
+	g.yStd = stat.StdDev(g.y)
+	if g.yStd < 1e-12 {
+		g.yStd = 1
+	}
+	ys := make([]float64, len(g.y))
+	for i, v := range g.y {
+		ys[i] = (v - g.yMean) / g.yStd
+	}
+	g.alpha = g.chol.SolveVec(ys)
+}
+
+// Append extends the GP with one observation in O(n²) by border-extending
+// the cached Cholesky factor. See AppendBatch.
+func (g *GP) Append(x []float64, y float64) error {
+	return g.AppendBatch([][]float64{x}, []float64{y})
+}
+
+// AppendBatch extends the GP with a batch of observations without refitting:
+// each point costs one O(n²) factor extension (an O(n·d) kernel row plus the
+// updatable triangular solve of mat.Cholesky.Extend), and one O(n²) α
+// re-solve covers the whole batch. On error the receiver is unchanged and
+// remains usable; callers then fall back to an exact refit via Fit.
+func (g *GP) AppendBatch(xs [][]float64, ys []float64) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("gp: append %d points with %d targets", len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return nil
+	}
+	d := len(g.x[0])
+	for i, xi := range xs {
+		if len(xi) != d {
+			return fmt.Errorf("gp: append row %d has %d features, want %d", i, len(xi), d)
+		}
+	}
+	// Extend a clone so a mid-batch failure cannot leave the model with a
+	// factor and training set of different sizes. A single-point batch — the
+	// BO loop's per-iteration shape — skips the defensive copy: Extend
+	// itself leaves the receiver unchanged on error.
+	chol := g.chol
+	if len(xs) > 1 {
+		chol = g.chol.Clone()
+	}
+	x2 := g.x
+	for i, xi := range xs {
+		col := make([]float64, len(x2))
+		for j, xj := range x2 {
+			col[j] = kernelEval(g.hyp, xj, xi)
+		}
+		diag := kernelEval(g.hyp, xi, xi) + g.hyp.Noise2() + 1e-8
+		if err := chol.Extend(col, diag); err != nil {
+			return fmt.Errorf("gp: append point %d: %w", i, err)
+		}
+		x2 = append(x2, xi)
+	}
+	g.x = x2
+	g.y = append(g.y, ys...)
+	g.chol = chol
+	g.refreshAlpha()
+	return nil
+}
+
+// Clone returns an independent copy of the GP: appending to the clone leaves
+// the original untouched. Cost is O(n²) (the factor copy).
+func (g *GP) Clone() *GP {
+	return &GP{
+		x:     append([][]float64(nil), g.x...),
+		y:     append([]float64(nil), g.y...),
+		yMean: g.yMean,
+		yStd:  g.yStd,
+		hyp:   g.hyp,
+		chol:  g.chol.Clone(),
+		alpha: append([]float64(nil), g.alpha...),
+	}
 }
 
 // N returns the number of training points.

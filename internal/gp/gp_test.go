@@ -194,3 +194,113 @@ func TestConstantTargets(t *testing.T) {
 		t.Fatalf("constant-target prediction = %v ± %v", m, v)
 	}
 }
+
+// trainSet draws n noisy observations of a smooth d-dimensional function.
+func trainSet(n, d int, rng *rand.Rand) ([][]float64, []float64) {
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := make([]float64, d)
+		var s float64
+		for j := range x {
+			x[j] = rng.Float64()
+			s += math.Sin(3*x[j]) * float64(j+1)
+		}
+		xs[i] = x
+		ys[i] = s + rng.NormFloat64()*0.05
+	}
+	return xs, ys
+}
+
+// TestAppendMatchesFit is the numerical-drift guard of the incremental
+// surrogate layer: a GP grown point-by-point (and batch-by-batch) from a
+// prefix must agree with a from-scratch Fit on the full set to 1e-8 in
+// posterior mean, variance and evidence.
+func TestAppendMatchesFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const n, d = 40, 3
+	xs, ys := trainSet(n, d, rng)
+	h := DefaultHyper()
+
+	full, err := Fit(xs, ys, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One-at-a-time appends.
+	inc, err := Fit(xs[:10], ys[:10], h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 25; i++ {
+		if err := inc.Append(xs[i], ys[i]); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	// The rest as one batch — the warm-start prior-injection shape.
+	if err := inc.AppendBatch(xs[25:], ys[25:]); err != nil {
+		t.Fatal(err)
+	}
+
+	if inc.N() != full.N() {
+		t.Fatalf("N = %d, want %d", inc.N(), full.N())
+	}
+	const tol = 1e-8
+	for i := 0; i < 50; i++ {
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = rng.Float64()*1.4 - 0.2
+		}
+		mi, vi := inc.Predict(q)
+		mf, vf := full.Predict(q)
+		if math.Abs(mi-mf) > tol || math.Abs(vi-vf) > tol {
+			t.Fatalf("predict(%v): incremental %v±%v vs fit %v±%v", q, mi, vi, mf, vf)
+		}
+	}
+	if diff := math.Abs(inc.LogMarginalLikelihood() - full.LogMarginalLikelihood()); diff > tol {
+		t.Fatalf("evidence drifted by %v", diff)
+	}
+}
+
+func TestAppendErrors(t *testing.T) {
+	g, err := Fit([][]float64{{0}, {0.5}, {1}}, []float64{1, 2, 3}, DefaultHyper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Append([]float64{0, 1}, 4); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if err := g.AppendBatch([][]float64{{0.2}}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := g.AppendBatch(nil, nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	// A failed append must leave the model usable.
+	if g.N() != 3 {
+		t.Fatalf("N = %d after failed appends, want 3", g.N())
+	}
+	if m, v := g.Predict([]float64{0.25}); math.IsNaN(m) || v <= 0 {
+		t.Fatalf("model unusable after failed appends: %v ± %v", m, v)
+	}
+}
+
+func TestGPCloneIndependent(t *testing.T) {
+	xs, ys := trainSet(12, 2, rand.New(rand.NewSource(22)))
+	base, err := Fit(xs, ys, DefaultHyper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.4, 0.6}
+	m0, v0 := base.Predict(q)
+	cl := base.Clone()
+	if err := cl.Append([]float64{0.41, 0.59}, 99); err != nil {
+		t.Fatal(err)
+	}
+	if base.N() != 12 || cl.N() != 13 {
+		t.Fatalf("N base=%d clone=%d", base.N(), cl.N())
+	}
+	if m, v := base.Predict(q); m != m0 || v != v0 {
+		t.Fatal("appending to the clone changed the original's posterior")
+	}
+}

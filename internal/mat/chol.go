@@ -48,6 +48,51 @@ func NewCholesky(a *Dense) (*Cholesky, error) {
 // L returns the lower-triangular factor (not a copy).
 func (c *Cholesky) L() *Dense { return c.l }
 
+// Clone returns an independent copy of the factorization. Extending the
+// clone leaves the original untouched, which is how GP.AppendBatch keeps a
+// model consistent when a mid-batch extension fails.
+func (c *Cholesky) Clone() *Cholesky { return &Cholesky{l: c.l.Clone()} }
+
+// Extend appends one row/column to the factored matrix in O(n²) — the
+// rank-1 border update that makes incremental GP training cheap. Given the
+// bordered matrix
+//
+//	A' = [A  col]
+//	     [colᵀ d ]
+//
+// the extended factor is
+//
+//	L' = [L    0  ]     l21 = L⁻¹·col (forward substitution)
+//	     [l21ᵀ l22]     l22 = √(d - |l21|²)
+//
+// The forward substitution is the updatable triangular solve: it reuses the
+// existing factor verbatim, so Extend costs O(n²) where a fresh NewCholesky
+// of the bordered matrix costs O(n³). The recurrences are the same ones the
+// full factorization would run for the last row, so the extended factor
+// matches a from-scratch factorization to rounding error.
+//
+// col is the new off-diagonal column (length n) and diag the new diagonal
+// element. On ErrNotPositiveDefinite the receiver is left unchanged.
+func (c *Cholesky) Extend(col []float64, diag float64) error {
+	n, _ := c.l.Dims()
+	if len(col) != n {
+		panic("mat: Cholesky.Extend column length mismatch")
+	}
+	l21 := c.SolveLowerVec(col)
+	d := diag - Dot(l21, l21)
+	if d <= 0 || math.IsNaN(d) {
+		return ErrNotPositiveDefinite
+	}
+	nl := NewDense(n+1, n+1, nil)
+	for i := 0; i < n; i++ {
+		copy(nl.data[i*nl.cols:i*nl.cols+n], c.l.data[i*c.l.cols:i*c.l.cols+n])
+	}
+	copy(nl.data[n*nl.cols:n*nl.cols+n], l21)
+	nl.data[n*nl.cols+n] = math.Sqrt(d)
+	c.l = nl
+	return nil
+}
+
 // SolveVec solves A·x = b in place-free fashion and returns x.
 func (c *Cholesky) SolveVec(b []float64) []float64 {
 	n, _ := c.l.Dims()

@@ -373,3 +373,129 @@ func TestSymEigenProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// spdMatrix returns a random n×n symmetric positive definite matrix.
+func spdMatrix(n int, rng *rand.Rand) *Dense {
+	m := NewDense(n, n, nil)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return Mul(m.T(), m).AddDiag(float64(n))
+}
+
+func TestCholeskyExtendMatchesFullFactorization(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		a := spdMatrix(n+1, rng)
+
+		// Factor the leading n×n block, then border-extend by the last
+		// row/column of a.
+		lead := NewDense(n, n, nil)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				lead.Set(i, j, a.At(i, j))
+			}
+		}
+		ch, err := NewCholesky(lead)
+		if err != nil {
+			return false
+		}
+		col := make([]float64, n)
+		for i := 0; i < n; i++ {
+			col[i] = a.At(n, i)
+		}
+		if err := ch.Extend(col, a.At(n, n)); err != nil {
+			return false
+		}
+
+		full, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		for i := 0; i <= n; i++ {
+			for j := 0; j <= i; j++ {
+				if !almostEqual(ch.L().At(i, j), full.L().At(i, j), 1e-8) {
+					return false
+				}
+			}
+		}
+		// The extended factor must solve against the bordered matrix.
+		x := make([]float64, n+1)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := ch.SolveVec(MulVec(a, x))
+		for i := range x {
+			if !almostEqual(got[i], x[i], 1e-6) {
+				return false
+			}
+		}
+		return almostEqual(ch.LogDet(), full.LogDet(), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskyExtendRejectsNotPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := spdMatrix(3, rng)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := ch.L().Clone()
+	// A border whose diagonal is dominated by the off-diagonal column makes
+	// the extension indefinite.
+	col := []float64{100, 100, 100}
+	if err := ch.Extend(col, 1e-9); err != ErrNotPositiveDefinite {
+		t.Fatalf("Extend accepted an indefinite border: %v", err)
+	}
+	// The factor must be untouched and still usable.
+	r, c := ch.L().Dims()
+	if r != 3 || c != 3 {
+		t.Fatalf("factor resized to %d×%d after failed Extend", r, c)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if ch.L().At(i, j) != before.At(i, j) {
+				t.Fatal("factor mutated by failed Extend")
+			}
+		}
+	}
+}
+
+func TestCholeskyExtendLengthPanics(t *testing.T) {
+	ch, err := NewCholesky(Identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_ = ch.Extend([]float64{1}, 1)
+}
+
+func TestCholeskyCloneIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := spdMatrix(3, rng)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := ch.Clone()
+	if err := cl.Extend([]float64{0, 0, 0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := ch.L().Dims(); r != 3 {
+		t.Fatal("extending a clone resized the original")
+	}
+	if r, _ := cl.L().Dims(); r != 4 {
+		t.Fatal("clone not extended")
+	}
+}

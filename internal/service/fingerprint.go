@@ -10,6 +10,7 @@ package service
 import (
 	"fmt"
 	"math"
+	"strings"
 )
 
 // Fingerprint identifies a class of tuning workloads whose observations are
@@ -68,10 +69,72 @@ func NewFingerprint(spec JobSpec) Fingerprint {
 	}
 }
 
+// keySafe reports whether c may appear verbatim in a history key: the
+// allowlist is [A-Za-z0-9._-] plus '%', the escape marker safeComponent
+// emits.
+func keySafe(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return true
+	case c == '.' || c == '_' || c == '-' || c == '%':
+		return true
+	}
+	return false
+}
+
+// safeComponent escapes every byte outside [A-Za-z0-9.-] as %XX. '%' is
+// escaped so pre-escaped input cannot collide, and '_' because Key() uses it
+// as the field separator — together that keeps component→key mapping
+// injective. The fingerprint components come from an HTTP JobSpec; without
+// this a benchmark name like "../../x" would let a stored key escape the
+// FileStore directory.
+func safeComponent(s string) string {
+	verbatim := func(c byte) bool { return keySafe(c) && c != '%' && c != '_' }
+	needs := false
+	for i := 0; i < len(s); i++ {
+		if !verbatim(s[i]) {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		if verbatim(s[i]) {
+			b.WriteByte(s[i])
+		} else {
+			fmt.Fprintf(&b, "%%%02X", s[i])
+		}
+	}
+	return b.String()
+}
+
+// ValidKey reports whether key is safe to use as a FileStore shard name:
+// non-empty, no traversal, only allowlisted bytes. Every Key() output
+// satisfies it; the HTTP history endpoint and the FileStore reject anything
+// else before the key ever reaches filepath.Join.
+func ValidKey(key string) bool {
+	if key == "" || key == "." || key == ".." {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		if !keySafe(key[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // Key renders the fingerprint as a stable, filesystem-safe string — the
 // history store's primary key and the file name of the FileStore shard.
+// Components are sanitized byte-wise, so a hostile Benchmark or Cluster
+// string cannot smuggle path separators or traversal into the key.
 func (f Fingerprint) Key() string {
-	return fmt.Sprintf("%s_%s_b%d_%s", f.Cluster, f.Benchmark, f.SizeBucket, f.Techniques)
+	return fmt.Sprintf("%s_%s_b%d_%s",
+		safeComponent(f.Cluster), safeComponent(f.Benchmark), f.SizeBucket, safeComponent(f.Techniques))
 }
 
 // Neighbors returns the fingerprints of the two adjacent size buckets.

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -71,6 +72,56 @@ func TestSizeBucketOf(t *testing.T) {
 	for _, c := range cases {
 		if got := SizeBucketOf(c.gb); got != c.want {
 			t.Errorf("SizeBucketOf(%v) = %d, want %d", c.gb, got, c.want)
+		}
+	}
+}
+
+func TestKeySanitizesHostileComponents(t *testing.T) {
+	// Fingerprint components come straight from an HTTP JobSpec; Key() must
+	// be filesystem-safe no matter what they contain.
+	f := Fingerprint{
+		Cluster:    "../../etc",
+		Benchmark:  "TPC-DS/../..\\evil name",
+		SizeBucket: 5,
+		Techniques: "qid",
+	}
+	key := f.Key()
+	if !ValidKey(key) {
+		t.Fatalf("Key() produced an invalid key %q", key)
+	}
+	if strings.ContainsAny(key, "/\\ ") {
+		t.Fatalf("separators or spaces survived sanitization: %q", key)
+	}
+	// Sanitization must be injective: distinct hostile names map to distinct
+	// keys ('%' is escaped too, so pre-escaped input cannot collide).
+	g := f
+	g.Benchmark = "TPC-DS%2F.." + `%5Cevil name`
+	if g.Key() == key {
+		t.Fatalf("distinct benchmarks collided on %q", key)
+	}
+	// '_' in a component must not collide with the field separator:
+	// ("a_b","c") and ("a","b_c") are different workloads.
+	p := Fingerprint{Cluster: "a_b", Benchmark: "c", SizeBucket: 5, Techniques: "qid"}
+	q := Fingerprint{Cluster: "a", Benchmark: "b_c", SizeBucket: 5, Techniques: "qid"}
+	if p.Key() == q.Key() {
+		t.Fatalf("separator collision: both map to %q", p.Key())
+	}
+	// Benign keys are untouched.
+	benign := Fingerprint{Cluster: "arm", Benchmark: "TPC-DS", SizeBucket: 7, Techniques: "qid"}
+	if got := benign.Key(); got != "arm_TPC-DS_b7_qid" {
+		t.Fatalf("benign key rewritten: %q", got)
+	}
+}
+
+func TestValidKey(t *testing.T) {
+	for _, ok := range []string{"arm_TPC-DS_b7_qid", "x86_hi.bench_b-3_-", "a%2Fb"} {
+		if !ValidKey(ok) {
+			t.Errorf("ValidKey(%q) = false", ok)
+		}
+	}
+	for _, bad := range []string{"", ".", "..", "a/b", `a\b`, "a b", "../x", "a\x00b"} {
+		if ValidKey(bad) {
+			t.Errorf("ValidKey(%q) = true", bad)
 		}
 	}
 }

@@ -5,8 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"strings"
 )
+
+// maxRequestBody caps POST bodies (a JobSpec is a few hundred bytes; 1 MiB
+// leaves generous headroom). Without the cap a single oversized request
+// would be buffered wholesale by the JSON decoder.
+const maxRequestBody = 1 << 20
 
 // HistorySummary is the compact per-entry view of the history endpoints.
 type HistorySummary struct {
@@ -61,8 +65,15 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
 		var spec JobSpec
 		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				httpError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("job spec exceeds %d bytes", tooBig.Limit))
+				return
+			}
 			httpError(w, http.StatusBadRequest, fmt.Errorf("decode job spec: %w", err))
 			return
 		}
@@ -143,7 +154,7 @@ func (s *Service) Handler() http.Handler {
 
 	mux.HandleFunc("GET /v1/history/{key}", func(w http.ResponseWriter, r *http.Request) {
 		key := r.PathValue("key")
-		if strings.ContainsAny(key, "/\\") {
+		if !ValidKey(key) {
 			httpError(w, http.StatusBadRequest, errors.New("invalid history key"))
 			return
 		}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"testing"
 	"time"
@@ -213,5 +214,40 @@ func TestHTTPErrors(t *testing.T) {
 	r.Body.Close()
 	if r.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown history = %d, want 404", r.StatusCode)
+	}
+}
+
+func TestHTTPRequestBodyCapped(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	// A body past the cap is refused with 413 and submits nothing.
+	big := append([]byte(`{"benchmark":"`), bytes.Repeat([]byte("A"), maxRequestBody+1024)...)
+	big = append(big, []byte(`"}`)...)
+	resp, err := client.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized submit = %d, want 413", resp.StatusCode)
+	}
+	var jobs []JobStatus
+	doJSON(t, client, "GET", srv.URL+"/v1/jobs", nil, http.StatusOK, &jobs)
+	if len(jobs) != 0 {
+		t.Fatalf("oversized submit enqueued %d jobs", len(jobs))
+	}
+
+	// Traversal in the history key path is a 400, never a file read.
+	r, err := client.Get(srv.URL + "/v1/history/" + url.PathEscape("../secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("traversal history key = %d, want 400", r.StatusCode)
 	}
 }

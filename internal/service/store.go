@@ -120,8 +120,15 @@ func NewFileStore(dir string) (*FileStore, error) {
 	return &FileStore{dir: dir}, nil
 }
 
-func (s *FileStore) path(key string) string {
-	return filepath.Join(s.dir, key+".json")
+// path maps a key to its shard file, refusing any key that could name a
+// file outside the store directory. Fingerprint.Key() sanitizes its inputs,
+// but the store is also reachable with caller-supplied keys (Get over HTTP,
+// entries deserialized from disk), so it validates independently.
+func (s *FileStore) path(key string) (string, error) {
+	if !ValidKey(key) {
+		return "", fmt.Errorf("service: invalid history key %q", key)
+	}
+	return filepath.Join(s.dir, key+".json"), nil
 }
 
 // Put implements Store.
@@ -129,6 +136,10 @@ func (s *FileStore) Put(e Entry) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	key := e.Fingerprint.Key()
+	p, err := s.path(key)
+	if err != nil {
+		return err
+	}
 	entries, err := s.load(key)
 	if err != nil {
 		return err
@@ -138,11 +149,11 @@ func (s *FileStore) Put(e Entry) error {
 	if err != nil {
 		return fmt.Errorf("service: encode history: %w", err)
 	}
-	tmp := s.path(key) + ".tmp"
+	tmp := p + ".tmp"
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return fmt.Errorf("service: write history: %w", err)
 	}
-	if err := os.Rename(tmp, s.path(key)); err != nil {
+	if err := os.Rename(tmp, p); err != nil {
 		return fmt.Errorf("service: commit history: %w", err)
 	}
 	return nil
@@ -156,7 +167,11 @@ func (s *FileStore) Get(key string) ([]Entry, error) {
 }
 
 func (s *FileStore) load(key string) ([]Entry, error) {
-	data, err := os.ReadFile(s.path(key))
+	p, err := s.path(key)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(p)
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
@@ -180,8 +195,15 @@ func (s *FileStore) Keys() ([]string, error) {
 	}
 	var out []string
 	for _, de := range names {
-		if n := de.Name(); strings.HasSuffix(n, ".json") {
-			out = append(out, strings.TrimSuffix(n, ".json"))
+		n := de.Name()
+		if !strings.HasSuffix(n, ".json") {
+			continue
+		}
+		// Skip stray or legacy files whose names the key validator (and
+		// therefore Get) would reject; one such file must not poison the
+		// whole history listing.
+		if key := strings.TrimSuffix(n, ".json"); ValidKey(key) {
+			out = append(out, key)
 		}
 	}
 	sort.Strings(out)

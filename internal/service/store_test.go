@@ -1,7 +1,11 @@
 package service
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
 )
 
@@ -108,5 +112,128 @@ func TestStoreCapsEntriesPerKey(t *testing.T) {
 	}
 	if got[0].CreatedUnix != 10 {
 		t.Fatalf("oldest kept entry created %d, want 10", got[0].CreatedUnix)
+	}
+}
+
+// TestFileStorePathInjectionRegression is the security regression test: an
+// entry whose fingerprint carries a hostile benchmark name must not write
+// outside the store directory, and caller-supplied traversal keys must be
+// rejected outright.
+func TestFileStorePathInjectionRegression(t *testing.T) {
+	parent := t.TempDir()
+	dir := filepath.Join(parent, "store")
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry("job-000066", 3000)
+	e.Fingerprint.Benchmark = "../../escape"
+	if err := fs.Put(e); err != nil {
+		t.Fatalf("sanitized put failed: %v", err)
+	}
+	// Nothing may appear outside the store directory.
+	if _, err := os.Stat(filepath.Join(parent, "escape.json")); !os.IsNotExist(err) {
+		t.Fatalf("path injection wrote outside the store: %v", err)
+	}
+	entries, err := os.ReadDir(parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "store" {
+		t.Fatalf("unexpected files next to the store: %v", entries)
+	}
+	// The entry is retrievable under its sanitized key, which stays inside.
+	got, err := fs.Get(e.Fingerprint.Key())
+	if err != nil || len(got) != 1 {
+		t.Fatalf("sanitized key not retrievable: %v, %d entries", err, len(got))
+	}
+	inside, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inside) != 1 {
+		t.Fatalf("store dir holds %d files, want 1", len(inside))
+	}
+
+	// Raw traversal keys are rejected, not resolved.
+	for _, key := range []string{"../evil", "..", "a/b", `a\b`} {
+		if _, err := fs.Get(key); err == nil {
+			t.Errorf("Get(%q) accepted a traversal key", key)
+		}
+	}
+}
+
+// TestFileStoreConcurrentPutGet exercises the store under the service's
+// real access pattern — workers persisting sessions while others retrieve
+// priors — and is run with -race in CI.
+func TestFileStoreConcurrentPutGet(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testEntry("job", 0).Fingerprint.Key()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if err := fs.Put(testEntry(fmt.Sprintf("job-%d-%d", w, i), int64(w*100+i))); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := fs.Get(key); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := fs.Keys(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	got, err := fs.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != maxEntriesPerKey {
+		t.Fatalf("got %d entries after concurrent puts, want cap %d", len(got), maxEntriesPerKey)
+	}
+}
+
+func TestFileStoreKeysSkipsInvalidFilenames(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Put(testEntry("job-000077", 4000)); err != nil {
+		t.Fatal(err)
+	}
+	// A stray file whose name fails key validation (e.g. written by hand or
+	// by a pre-sanitization build) must not poison the listing.
+	if err := os.WriteFile(filepath.Join(dir, "bad name.json"), []byte("[]"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := fs.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testEntry("job-000077", 4000).Fingerprint.Key()
+	if len(keys) != 1 || keys[0] != want {
+		t.Fatalf("Keys() = %v; want [%s]", keys, want)
+	}
+	// Every listed key must be Get-able — the History() invariant.
+	for _, k := range keys {
+		if _, err := fs.Get(k); err != nil {
+			t.Fatalf("listed key %q not readable: %v", k, err)
+		}
 	}
 }

@@ -16,8 +16,11 @@ import (
 	"testing"
 
 	"locat/internal/bo"
+	"locat/internal/conf"
 	"locat/internal/experiments"
 	"locat/internal/gp"
+	"locat/internal/kpca"
+	"locat/internal/mat"
 	"locat/internal/qcsa"
 	"locat/internal/sparksim"
 	"locat/internal/stat"
@@ -264,6 +267,125 @@ func BenchmarkSurrogateIncremental(b *testing.B) {
 				g := base.Clone()
 				if err := g.Append(xs[n-1], ys[n-1]); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Batched surrogate math and parallel sampling benches (ISSUE 3) ---
+
+// BenchmarkPredictBatch compares the two ways of scoring an EI candidate
+// pool (512 points) against an n=300 GP: the old per-candidate Predict loop
+// (two fresh vectors per candidate) versus one PredictBatch call that
+// assembles the cross-kernel matrix once and reuses a workspace across
+// iterations. The acceptance criterion is the allocs/op column: the batched
+// path must cut it by ≥5×.
+func BenchmarkPredictBatch(b *testing.B) {
+	xs, ys := surrogateTrainingSet(300, 9)
+	g, err := gp.Fit(xs, ys, gp.DefaultHyper())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := newBenchRng(7)
+	cands := make([][]float64, 512)
+	for i := range cands {
+		x := make([]float64, 9)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		cands[i] = x
+	}
+	b.Run("PerCandidate", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, c := range cands {
+				g.Predict(c)
+			}
+		}
+	})
+	b.Run("Batched", func(b *testing.B) {
+		var ws gp.PredictWorkspace
+		g.PredictBatch(cands, &ws) // warm the workspace buffers
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.PredictBatch(cands, &ws)
+		}
+	})
+}
+
+// BenchmarkKPCAFit measures the CPE hot path: a full kernel-PCA fit over an
+// IICP-scale sample matrix (parallel Gram assembly, in-place centering, QL
+// eigensolver), plus the eigensolver swap in isolation — implicit-shift QL
+// versus the cyclic Jacobi reference it replaced as the default.
+func BenchmarkKPCAFit(b *testing.B) {
+	rng := newBenchRng(5)
+	n, d := 160, 38
+	xs := make([][]float64, n)
+	for i := range xs {
+		x := make([]float64, d)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		xs[i] = x
+	}
+	b.Run("Fit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := kpca.Fit(xs, kpca.Kernel{Kind: kpca.Gaussian}, kpca.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// The Gram matrix the eigensolvers factor.
+	kern := kpca.Kernel{Kind: kpca.Gaussian}
+	gram := mat.NewDense(n, n, nil)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := kern.Eval(xs[i], xs[j])
+			gram.Set(i, j, v)
+			gram.Set(j, i, v)
+		}
+	}
+	b.Run("EigenQL", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mat.SymEigen(gram); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("EigenJacobi", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mat.SymEigenJacobi(gram); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkParallelSampling measures a phase-1-shaped batch — 16 independent
+// full TPC-DS executions — through sparksim.RunBatch at one worker versus
+// all cores. Per-run noise streams make the two rows produce identical
+// results; the delta is pure wall-clock.
+func BenchmarkParallelSampling(b *testing.B) {
+	cl := sparksim.ARM()
+	app := workloads.TPCDS()
+	space := cl.Space()
+	rng := newBenchRng(11)
+	cs := make([]conf.Config, 16)
+	for i := range cs {
+		cs[i] = space.Random(rng)
+	}
+	gb := func(int) float64 { return 300 }
+	// 8 slots rather than GOMAXPROCS so the row means the same thing on any
+	// machine; on a single-core box it measures pure pool overhead (results
+	// are identical either way).
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			sim := sparksim.New(cl, 1)
+			for i := 0; i < b.N; i++ {
+				if _, done := sim.RunBatch(app, cs, gb, workers, nil); done != len(cs) {
+					b.Fatal("incomplete batch")
 				}
 			}
 		})

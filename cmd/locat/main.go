@@ -25,16 +25,18 @@ func main() {
 		compare = flag.Bool("compare", false, "also tune with the four SOTA baselines")
 		quick   = flag.Bool("quick", false, "reduced budgets for a fast demo")
 		quiet   = flag.Bool("quiet", false, "suppress the progress log on stderr")
+		par     = flag.Int("parallel", 0, "concurrent simulated cluster slots for sample collection (0 = all cores, 1 = serial; results are identical)")
 		out     = flag.String("o", "", "write the tuned configuration to this spark-defaults.conf file")
 	)
 	flag.Parse()
 
 	o := locat.Options{
-		Cluster:    *cluster,
-		Benchmark:  *bench,
-		DataSizeGB: *size,
-		Seed:       *seed,
-		Quiet:      *quiet,
+		Cluster:     *cluster,
+		Benchmark:   *bench,
+		DataSizeGB:  *size,
+		Seed:        *seed,
+		Quiet:       *quiet,
+		Parallelism: *par,
 	}
 	if *quick {
 		o.NQCSA, o.NIICP, o.MaxIterations = 12, 10, 10

@@ -31,7 +31,7 @@ func main() {
 		Benchmark:  "TPC-DS",
 		DataSizeGB: 500, // the size we ultimately care about
 		Schedule:   schedule,
-		Seed:       7,
+		Seed:       1,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -43,7 +43,7 @@ func main() {
 		Benchmark:   "TPC-DS",
 		DataSizeGB:  500,
 		Schedule:    schedule,
-		Seed:        7,
+		Seed:        1,
 		DisableDAGP: true,
 	})
 	if err != nil {

@@ -15,9 +15,7 @@ package bo
 import (
 	"math"
 	"math/rand"
-	"runtime"
 	"sort"
-	"sync"
 
 	"locat/internal/gp"
 	"locat/internal/stat"
@@ -89,6 +87,14 @@ type Options struct {
 	// aborts the loop immediately (the partial Result is still valid).
 	// LOCAT's tuning service uses it for cooperative job cancellation.
 	Stop func() bool
+	// EvalBatch, if non-nil, evaluates a whole batch of points — LOCAT's
+	// tuner fans the batch over concurrent simulated cluster slots — and is
+	// used for the LHS warm-start block, whose points are independent. It
+	// must return objective values for a prefix of xs in index order; a
+	// short return means evaluation was cut off (Stop) after that prefix.
+	// The recorded history is identical to the serial Eval loop, whatever
+	// the evaluator's internal parallelism.
+	EvalBatch func(xs, ctxs [][]float64) []float64
 }
 
 // DefaultOptions mirror the paper's settings.
@@ -152,14 +158,16 @@ func Minimize(p Problem, opts Options) Result {
 		return p.Context(it)
 	}
 
-	record := func(x, ctx []float64, ei float64) {
-		y := p.Eval(x, ctx)
+	observe := func(x, ctx []float64, y, ei float64) {
 		res.History = append(res.History, Step{X: x, Ctx: ctx, Y: y, EI: ei})
 		res.Evals++
 		if y < res.BestY {
 			res.BestY = y
 			res.BestX = append([]float64(nil), x...)
 		}
+	}
+	record := func(x, ctx []float64, ei float64) {
+		observe(x, ctx, p.Eval(x, ctx), ei)
 	}
 
 	stopped := func() bool { return opts.Stop != nil && opts.Stop() }
@@ -168,12 +176,33 @@ func Minimize(p Problem, opts Options) Result {
 	// steps (see Problem.Context).
 	ctxBase := len(opts.Init)
 
-	// Warm start: LHS over the decision cube.
-	for _, x := range stat.LatinHypercube(opts.InitPoints, p.Dim, rng) {
-		if res.Evals >= opts.MaxIter || stopped() {
-			break
+	// Warm start: LHS over the decision cube. The points are mutually
+	// independent, so when a batch evaluator is available the whole block is
+	// handed over at once (contexts depend only on the iteration index and
+	// are precomputed); the index-ordered results are recorded exactly as
+	// the serial loop would record them.
+	lhs := stat.LatinHypercube(opts.InitPoints, p.Dim, rng)
+	if opts.EvalBatch != nil {
+		if m := opts.MaxIter - res.Evals; len(lhs) > m {
+			lhs = lhs[:m]
 		}
-		record(x, ctxAt(ctxBase+res.Evals), 0)
+		if len(lhs) > 0 && !stopped() {
+			ctxs := make([][]float64, len(lhs))
+			for i := range lhs {
+				ctxs[i] = ctxAt(ctxBase + res.Evals + i)
+			}
+			ys := opts.EvalBatch(lhs, ctxs)
+			for i, y := range ys {
+				observe(lhs[i], ctxs[i], y, 0)
+			}
+		}
+	} else {
+		for _, x := range lhs {
+			if res.Evals >= opts.MaxIter || stopped() {
+				break
+			}
+			record(x, ctxAt(ctxBase+res.Evals), 0)
+		}
 	}
 
 	// BO iterations. Between hyperparameter resamples the fitted GPs stay
@@ -186,6 +215,7 @@ func Minimize(p Problem, opts Options) Result {
 		xs        [][]float64 // training inputs the live models hold
 		ys        []float64   // training targets the live models hold
 		modelMark int         // len(res.History) already folded into models
+		predWS    gp.PredictWorkspace
 	)
 	iterSinceSample := 0
 	for res.Evals < opts.MaxIter && !stopped() {
@@ -225,7 +255,7 @@ func Minimize(p Problem, opts Options) Result {
 		var bestCand []float64
 		bestEI := math.Inf(-1)
 		if len(models) > 0 {
-			bestCand, bestEI = proposeEI(models, res, p.Dim, ctx, opts, rng)
+			bestCand, bestEI = proposeEI(models, res, p.Dim, ctx, opts, rng, &predWS)
 		}
 		if bestCand == nil {
 			// Model failure: fall back to random search for this step.
@@ -287,7 +317,7 @@ func modelData(hist []Step) (xs [][]float64, ys []float64) {
 
 // proposeEI scores a candidate pool by EI averaged over the hyperparameter
 // posterior samples (EI-MCMC) and returns the best candidate and its EI.
-func proposeEI(models []*gp.GP, res Result, dim int, ctx []float64, opts Options, rng *rand.Rand) ([]float64, float64) {
+func proposeEI(models []*gp.GP, res Result, dim int, ctx []float64, opts Options, rng *rand.Rand, ws *gp.PredictWorkspace) ([]float64, float64) {
 	cands := make([][]float64, 0, opts.Candidates+64)
 	for i := 0; i < opts.Candidates; i++ {
 		cands = append(cands, randomPoint(dim, rng))
@@ -307,7 +337,7 @@ func proposeEI(models []*gp.GP, res Result, dim int, ctx []float64, opts Options
 		}
 	}
 
-	eis := scoreEI(models, cands, dim, ctx, res.BestY)
+	eis := scoreEI(models, cands, dim, ctx, res.BestY, ws)
 	var bestX []float64
 	bestEI := math.Inf(-1)
 	for i, ei := range eis {
@@ -320,54 +350,36 @@ func proposeEI(models []*gp.GP, res Result, dim int, ctx []float64, opts Options
 }
 
 // scoreEI evaluates the EI-MCMC acquisition (EI averaged over the
-// hyperparameter posterior samples) for every candidate, fanning the pool
-// out over a goroutine pool sized to GOMAXPROCS. GP prediction is read-only,
-// the workers write disjoint chunks of the result, and candidate order is
-// preserved — the scores (and therefore the argmax and the optimizer
-// trajectory) are identical to a serial scan.
-func scoreEI(models []*gp.GP, cands [][]float64, dim int, ctx []float64, best float64) []float64 {
+// hyperparameter posterior samples) for every candidate through the batched
+// prediction path: per model, one gp.PredictBatch call assembles the
+// cross-kernel matrix once and produces all means and variances with
+// row-parallel batch math and zero per-candidate allocations (the workspace
+// is reused across models and iterations). Candidate order is preserved and
+// every floating-point reduction matches the per-candidate Predict loop, so
+// the scores — and therefore the argmax and the optimizer trajectory — are
+// identical to the serial scan this replaces.
+func scoreEI(models []*gp.GP, cands [][]float64, dim int, ctx []float64, best float64, ws *gp.PredictWorkspace) []float64 {
 	out := make([]float64, len(cands))
-	score := func(lo, hi int) {
-		xin := make([]float64, dim+len(ctx))
-		copy(xin[dim:], ctx)
-		for i := lo; i < hi; i++ {
-			copy(xin, cands[i])
-			ei := 0.0
-			for _, m := range models {
-				ei += expectedImprovement(m, xin, best)
-			}
-			out[i] = ei / float64(len(models))
+	xin := ws.Inputs(len(cands), dim+len(ctx))
+	for i, c := range cands {
+		copy(xin[i], c)
+		copy(xin[i][dim:], ctx)
+	}
+	for _, m := range models {
+		mus, vars := m.PredictBatch(xin, ws)
+		for i := range out {
+			out[i] += expectedImprovement(mus[i], vars[i], best)
 		}
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(cands) {
-		workers = len(cands)
+	for i := range out {
+		out[i] /= float64(len(models))
 	}
-	if workers <= 1 {
-		score(0, len(cands))
-		return out
-	}
-	chunk := (len(cands) + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < len(cands); lo += chunk {
-		hi := lo + chunk
-		if hi > len(cands) {
-			hi = len(cands)
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			score(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
 	return out
 }
 
 // expectedImprovement is EI(x) = (f* - μ)Φ(z) + σφ(z), z = (f* - μ)/σ, for
-// minimization.
-func expectedImprovement(m *gp.GP, x []float64, best float64) float64 {
-	mu, v := m.Predict(x)
+// minimization, from a predicted posterior mean and variance.
+func expectedImprovement(mu, v, best float64) float64 {
 	sigma := math.Sqrt(v)
 	if sigma < 1e-12 {
 		if mu < best {

@@ -279,3 +279,84 @@ func TestIncrementalModelsMatchRefit(t *testing.T) {
 		}
 	}
 }
+
+func TestEvalBatchMatchesSerial(t *testing.T) {
+	// A batch evaluator that simply loops the serial objective must leave
+	// the optimizer trajectory untouched: same history, same best, same EI
+	// values. This is the contract core's parallel sample collection relies
+	// on — the worker count only changes wall-clock time.
+	obj := func(x, ctx []float64) float64 {
+		d0, d1 := x[0]-0.3, x[1]-0.7
+		return d0*d0 + d1*d1 + 0.1*x[0]*x[1] + 0.01*ctx[0]
+	}
+	// An iteration-dependent context: the batch path must hand EvalBatch the
+	// same per-iteration contexts the serial loop computes right before each
+	// Eval (a context that depends on anything but the iteration index would
+	// be mislabeled by the precompute).
+	ctxFn := func(it int) []float64 { return []float64{float64(it)} }
+	opts := DefaultOptions()
+	opts.MaxIter = 14
+	opts.InitPoints = 6
+	opts.EIStopFrac = 0
+	opts.Seed = 12
+	serial := Minimize(Problem{Dim: 2, Eval: obj, Context: ctxFn}, opts)
+
+	batched := opts
+	batched.EvalBatch = func(xs, ctxs [][]float64) []float64 {
+		ys := make([]float64, len(xs))
+		for i := range xs {
+			ys[i] = obj(xs[i], ctxs[i])
+		}
+		return ys
+	}
+	par := Minimize(Problem{Dim: 2, Eval: obj, Context: ctxFn}, batched)
+
+	if len(serial.History) != len(par.History) {
+		t.Fatalf("history lengths differ: %d vs %d", len(serial.History), len(par.History))
+	}
+	for i := range serial.History {
+		a, b := serial.History[i], par.History[i]
+		if a.Y != b.Y || a.EI != b.EI {
+			t.Fatalf("step %d diverged: %+v vs %+v", i, a, b)
+		}
+		for j := range a.X {
+			if a.X[j] != b.X[j] {
+				t.Fatalf("step %d decision diverged", i)
+			}
+		}
+		if len(a.Ctx) != 1 || len(b.Ctx) != 1 || a.Ctx[0] != b.Ctx[0] || a.Ctx[0] != float64(i) {
+			t.Fatalf("step %d context diverged: %v vs %v (want [%d])", i, a.Ctx, b.Ctx, i)
+		}
+	}
+	if serial.BestY != par.BestY {
+		t.Fatalf("best diverged: %v vs %v", serial.BestY, par.BestY)
+	}
+}
+
+func TestEvalBatchShortReturnStops(t *testing.T) {
+	// A batch evaluator that returns a prefix (evaluation cut short) must
+	// leave a valid partial result rather than panicking or inventing steps.
+	evals := 0
+	obj := func(x, ctx []float64) float64 { evals++; return x[0] }
+	opts := DefaultOptions()
+	opts.InitPoints = 8
+	opts.MaxIter = 8
+	opts.Seed = 3
+	stopNow := false
+	opts.Stop = func() bool { return stopNow }
+	opts.EvalBatch = func(xs, ctxs [][]float64) []float64 {
+		ys := make([]float64, 3) // only 3 of 8 completed
+		for i := range ys {
+			ys[i] = obj(xs[i], ctxs[i])
+		}
+		stopNow = true
+		return ys
+	}
+	res := Minimize(Problem{Dim: 1, Eval: obj}, opts)
+	if res.Evals != 3 || len(res.History) != 3 {
+		t.Fatalf("Evals=%d history=%d; want 3 each", res.Evals, len(res.History))
+	}
+	if evals != 3 {
+		t.Fatalf("objective evaluated %d times, want 3", evals)
+	}
+}

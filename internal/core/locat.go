@@ -122,6 +122,14 @@ type Options struct {
 	// warm-started session still executes (default 4). They ground the
 	// surrogate in the session's current cluster conditions.
 	WarmFreshRuns int
+	// Workers bounds the simulated cluster slots used to execute independent
+	// sample-collection runs concurrently: the phase-1 LHS block of a cold
+	// session and the anchor runs of a warm one. 0 selects GOMAXPROCS,
+	// 1 runs serially. The simulator gives every run index its own noise
+	// stream and the batch reduction is index-ordered, so the history — and
+	// therefore the whole tuning trajectory — is identical for every worker
+	// count; the knob only changes wall-clock time.
+	Workers int
 	// Stop, if non-nil, is polled between evaluations; returning true
 	// aborts the session and Tune returns ErrStopped. The tuning service
 	// uses it for cooperative job cancellation.
@@ -291,9 +299,7 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 	// anchor executions — the overhead reduction the history store buys.
 	var phase1Runs []sparksim.AppResult
 	var samples []iicp.Sample
-	runFull := func(c conf.Config) float64 {
-		ds := sizeOf(rep.Evaluations())
-		run := t.sim.RunApp(t.app, c, ds)
+	recordFull := func(c conf.Config, ds float64, run sparksim.AppResult) float64 {
 		rep.OverheadSec += run.Sec
 		rep.SamplingSec += run.Sec
 		rep.FullRuns++
@@ -304,20 +310,48 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 		samples = append(samples, iicp.Sample{Conf: c, Sec: run.Sec})
 		return run.Sec
 	}
+	runFull := func(c conf.Config) float64 {
+		ds := sizeOf(rep.Evaluations())
+		return recordFull(c, ds, t.sim.RunApp(t.app, c, ds))
+	}
+	// runFullBatch fans independent full-application runs over the worker
+	// pool (Options.Workers simulated cluster slots) and reduces the results
+	// in index order, so the recorded history matches a serial runFull loop
+	// exactly. Run sizes are resolved against the evaluation counter before
+	// the batch starts, just as the serial loop would see them. complete is
+	// false when Stop cut the batch short after a prefix.
+	runFullBatch := func(cs []conf.Config) (ys []float64, complete bool) {
+		evalBase := rep.Evaluations()
+		sizes := make([]float64, len(cs))
+		for i := range cs {
+			sizes[i] = sizeOf(evalBase + i)
+		}
+		runs, done := t.sim.RunBatch(t.app, cs, func(i int) float64 { return sizes[i] }, t.opts.Workers, t.opts.Stop)
+		ys = make([]float64, done)
+		for i := 0; i < done; i++ {
+			ys[i] = recordFull(cs[i], sizes[i], runs[i])
+		}
+		return ys, done == len(cs)
+	}
 
 	prior := t.warmPrior()
 	var p1res bo.Result
 	if prior == nil {
 		t.logf("phase 1: collecting %d full-application samples (cold start)", t.opts.NQCSA)
 		p1 := bo.Problem{
-			Dim:     space.Dim(),
-			Eval:    func(x, ctx []float64) float64 { return runFull(space.Decode(x)) },
-			Context: func(it int) []float64 { return ctxOf(rep.Evaluations()) },
+			Dim:  space.Dim(),
+			Eval: func(x, ctx []float64) float64 { return runFull(space.Decode(x)) },
+			// Phase 1 injects no Init steps, so bo's iteration index is the
+			// session run index. Context must be a function of it — the batch
+			// evaluator precomputes contexts before any run executes, when the
+			// live evaluation counter still points at the batch start.
+			Context: func(it int) []float64 { return ctxOf(it) },
 		}
 		// A third of the sample-collection budget goes to space-filling LHS
 		// so the QCSA/IICP statistics see uncorrelated coverage; the rest is
 		// EI-guided ("BO with DAGP", Figure 4) and begins improving the
-		// incumbent early.
+		// incumbent early. The LHS block's points are independent, so the
+		// batch evaluator runs them on concurrent simulated cluster slots.
 		p1res = bo.Minimize(p1, bo.Options{
 			InitPoints:  t.opts.NQCSA / 3,
 			MinIter:     t.opts.NQCSA, // phase 1 always collects the full sample set
@@ -328,6 +362,14 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 			Candidates:  400,
 			Seed:        t.opts.Seed,
 			Stop:        t.opts.Stop,
+			EvalBatch: func(xs, ctxs [][]float64) []float64 {
+				cs := make([]conf.Config, len(xs))
+				for i, x := range xs {
+					cs[i] = space.Decode(x)
+				}
+				ys, _ := runFullBatch(cs)
+				return ys
+			},
 		})
 	} else {
 		rep.WarmStarted = true
@@ -336,11 +378,8 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 		t.logf("phase 1: warm start from %d prior observations, %d fresh anchor runs",
 			len(prior.Obs), fresh)
 		rng := rand.New(rand.NewSource(t.opts.Seed))
-		for _, c := range space.LHS(fresh, rng) {
-			if t.stopped() {
-				return nil, ErrStopped
-			}
-			runFull(c)
+		if _, complete := runFullBatch(space.LHS(fresh, rng)); !complete {
+			return nil, ErrStopped
 		}
 		// Prior observations and the fresh anchors together form the
 		// phase-1 history the DAGP base selection and the phase-2 warm
@@ -509,6 +548,11 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 			})
 			return run.Sec
 		},
+		// Phase 2 evaluates serially (no EvalBatch), so Context is called
+		// immediately before each Eval and the live counter is the session
+		// run index the data schedule expects. bo's own iteration index would
+		// be wrong here: it counts the injected Init steps (prior
+		// observations included), not this session's executed runs.
 		Context: func(it int) []float64 { return ctxOf(rep.Evaluations()) },
 	}
 	p2res := bo.Minimize(p2, bo.Options{
@@ -568,11 +612,18 @@ func dagpRank(hist []bo.Step, warmN int, targetGB float64, seed int64) (best []f
 	if err != nil {
 		return nil, false
 	}
+	// Rank every evaluated point by posterior mean at the target size in one
+	// batched prediction instead of a per-point Predict loop.
+	xs := make([][]float64, len(hist))
+	for i, s := range hist {
+		xs[i] = s.X
+	}
+	means := model.PredictBatch(xs, targetGB, nil)
 	bestPred := math.Inf(1)
-	for _, s := range hist {
-		if m, _ := model.Predict(s.X, targetGB); m < bestPred {
+	for i, m := range means {
+		if m < bestPred {
 			bestPred = m
-			best = s.X
+			best = hist[i].X
 		}
 	}
 	return best, best != nil

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"locat/internal/sparksim"
+	"locat/internal/workloads"
+)
+
+// reportsEqual pins two reports to bit-for-bit equality of everything the
+// tuner observed and decided.
+func reportsEqual(t *testing.T, a, b *Report) {
+	t.Helper()
+	if len(a.History) != len(b.History) {
+		t.Fatalf("history lengths differ: %d vs %d", len(a.History), len(b.History))
+	}
+	for i := range a.History {
+		ea, eb := a.History[i], b.History[i]
+		if ea.Sec != eb.Sec || ea.DataGB != eb.DataGB || ea.FullApp != eb.FullApp {
+			t.Fatalf("history step %d diverged: %+v vs %+v", i, ea, eb)
+		}
+		for j := range ea.Conf {
+			if ea.Conf[j] != eb.Conf[j] {
+				t.Fatalf("history step %d config diverged at param %d", i, j)
+			}
+		}
+	}
+	if a.OverheadSec != b.OverheadSec || a.SamplingSec != b.SamplingSec ||
+		a.SearchSec != b.SearchSec || a.TunedSec != b.TunedSec {
+		t.Fatalf("accounting diverged: %+v vs %+v", a, b)
+	}
+	for i := range a.Best {
+		if a.Best[i] != b.Best[i] {
+			t.Fatalf("best configs diverged at param %d", i)
+		}
+	}
+}
+
+// Parallel phase-1 sampling must reproduce the serial history exactly: the
+// simulator derives each run's noise from its run index and the batch
+// reduction is index-ordered, so Workers only changes wall-clock time.
+func TestParallelSamplingMatchesSerial(t *testing.T) {
+	run := func(workers int) *Report {
+		sim := sparksim.New(sparksim.ARM(), 13)
+		o := quickOpts()
+		o.Workers = workers
+		rep, err := New(sim, workloads.TPCH(), o).Tune(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	serial := run(1)
+	for _, w := range []int{2, 4, 0} { // 0 = GOMAXPROCS
+		reportsEqual(t, serial, run(w))
+	}
+}
+
+// Under a changing data-size schedule the batch path must label every run —
+// and the context the DAGP trains on — with its own size (the batch
+// evaluator precomputes contexts by iteration index, so a context derived
+// from anything else would stamp the whole LHS block with run 0's size),
+// and stay worker-count invariant.
+func TestParallelSamplingWithDataSchedule(t *testing.T) {
+	sizes := []float64{100, 200, 300, 400, 500}
+	run := func(workers int) *Report {
+		sim := sparksim.New(sparksim.X86(), 19)
+		o := quickOpts()
+		o.Workers = workers
+		o.DataSchedule = func(run int) float64 { return sizes[run%len(sizes)] }
+		rep, err := New(sim, workloads.TPCH(), o).Tune(300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	serial := run(1)
+	for i, e := range serial.History {
+		if e.DataGB != sizes[i%len(sizes)] {
+			t.Fatalf("run %d executed at %v GB; schedule says %v", i, e.DataGB, sizes[i%len(sizes)])
+		}
+	}
+	reportsEqual(t, serial, run(4))
+}
+
+// The warm-start anchor runs go through the same batch path; a warm session
+// must also be worker-count invariant.
+func TestParallelWarmAnchorsMatchSerial(t *testing.T) {
+	app := workloads.TPCH()
+	first, err := New(sparksim.New(sparksim.ARM(), 61), app, quickOpts()).Tune(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior := priorFromReport(first)
+	run := func(workers int) *Report {
+		o := quickOpts()
+		o.Prior = prior
+		o.Workers = workers
+		rep, err := New(sparksim.New(sparksim.ARM(), 62), app, o).Tune(140)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.WarmStarted {
+			t.Fatal("session did not warm-start")
+		}
+		return rep
+	}
+	reportsEqual(t, run(1), run(4))
+}

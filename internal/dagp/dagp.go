@@ -190,3 +190,25 @@ func (m *Model) Predict(x []float64, dataGB float64) (mean, variance float64) {
 	in = append(in, dataGB/ScaleGB)
 	return m.g.Predict(in)
 }
+
+// PredictBatch returns the posterior mean latency of every encoded
+// configuration at the given data size through gp.PredictBatch — one
+// cross-kernel assembly and row-parallel batch math instead of a fresh
+// prediction per point. Numerically identical to looping Predict. ws may be
+// nil; when provided its buffers are reused and the returned slice is valid
+// until the workspace's next use.
+func (m *Model) PredictBatch(xs [][]float64, dataGB float64, ws *gp.PredictWorkspace) []float64 {
+	if ws == nil {
+		ws = &gp.PredictWorkspace{}
+	}
+	if len(xs) == 0 {
+		return nil
+	}
+	in := ws.Inputs(len(xs), len(xs[0])+1)
+	for i, x := range xs {
+		copy(in[i], x)
+		in[i][len(x)] = dataGB / ScaleGB
+	}
+	means, _ := m.g.PredictBatch(in, ws)
+	return means
+}

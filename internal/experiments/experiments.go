@@ -205,7 +205,9 @@ func (s *Session) canonicalQCSA(clusterName, benchName string, gb float64, n int
 	return qcsa.Analyze(app, runs)
 }
 
-// randomRuns executes the benchmark n times under random configurations.
+// randomRuns executes the benchmark n times under random configurations,
+// fanned over concurrent simulated cluster slots (qcsa.Collect); per-run
+// noise streams keep the results identical to the serial loop this was.
 func (s *Session) randomRuns(clusterName, benchName string, gb float64, n int) ([]sparksim.AppResult, error) {
 	cl := Cluster(clusterName)
 	app, err := workloads.ByName(benchName)
@@ -213,13 +215,7 @@ func (s *Session) randomRuns(clusterName, benchName string, gb float64, n int) (
 		return nil, err
 	}
 	sim := sparksim.New(cl, s.Seed)
-	space := cl.Space()
-	rng := newRng(s.Seed + 11)
-	out := make([]sparksim.AppResult, 0, n)
-	for i := 0; i < n; i++ {
-		out = append(out, sim.RunApp(app, space.Random(rng), gb))
-	}
-	return out, nil
+	return qcsa.CollectRandom(sim, app, cl.Space(), n, gb, 0, newRng(s.Seed+11)), nil
 }
 
 // Registry maps figure/table IDs to drivers.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"locat/internal/conf"
 	"locat/internal/iicp"
 	"locat/internal/qcsa"
 	"locat/internal/sparksim"
@@ -19,7 +20,8 @@ func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
 // hours formats simulated seconds as hours.
 func hours(sec float64) string { return fmt.Sprintf("%.1f", sec/3600) }
 
-// iicpSamples collects n random-configuration samples of the benchmark.
+// iicpSamples collects n random-configuration samples of the benchmark over
+// concurrent simulated cluster slots (qcsa.Collect).
 func (s *Session) iicpSamples(clusterName, benchName string, gb float64, n int) ([]iicp.Sample, error) {
 	cl := Cluster(clusterName)
 	app, err := workloads.ByName(benchName)
@@ -29,10 +31,14 @@ func (s *Session) iicpSamples(clusterName, benchName string, gb float64, n int) 
 	sim := sparksim.New(cl, s.Seed)
 	space := cl.Space()
 	rng := newRng(s.Seed + 13)
-	out := make([]iicp.Sample, 0, n)
-	for i := 0; i < n; i++ {
-		c := space.Random(rng)
-		out = append(out, iicp.Sample{Conf: c, Sec: sim.RunApp(app, c, gb).Sec})
+	cs := make([]conf.Config, n)
+	for i := range cs {
+		cs[i] = space.Random(rng)
+	}
+	runs := qcsa.Collect(sim, app, cs, gb, 0)
+	out := make([]iicp.Sample, n)
+	for i, r := range runs {
+		out[i] = iicp.Sample{Conf: cs[i], Sec: r.Sec}
 	}
 	return out, nil
 }

@@ -1,0 +1,95 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func batchTrainingSet(n, d int, rng *rand.Rand) ([][]float64, []float64) {
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		x := make([]float64, d)
+		var s float64
+		for j := range x {
+			x[j] = rng.Float64()
+			s += math.Sin(3 * x[j] * float64(j+1))
+		}
+		xs[i] = x
+		ys[i] = s + rng.NormFloat64()*0.05
+	}
+	return xs, ys
+}
+
+// PredictBatch must agree with the per-point Predict loop to 1e-10 (the
+// operations are in fact identical, so this is generous), with and without a
+// caller-provided workspace, on both a freshly fitted and an Append-grown GP.
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	xs, ys := batchTrainingSet(60, 7, rng)
+	g, err := Fit(xs, ys, DefaultHyper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := Fit(xs[:40], ys[:40], DefaultHyper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := grown.AppendBatch(xs[40:], ys[40:]); err != nil {
+		t.Fatal(err)
+	}
+
+	tests, _ := batchTrainingSet(50, 7, rng)
+	var ws PredictWorkspace
+	for name, model := range map[string]*GP{"fit": g, "grown": grown} {
+		for pass := 0; pass < 2; pass++ { // second pass reuses the workspace buffers
+			mus, vars := model.PredictBatch(tests, &ws)
+			for i, x := range tests {
+				mu, v := model.Predict(x)
+				if math.Abs(mu-mus[i]) > 1e-10 || math.Abs(v-vars[i]) > 1e-10 {
+					t.Fatalf("%s pass %d point %d: batch (%v,%v) vs loop (%v,%v)",
+						name, pass, i, mus[i], vars[i], mu, v)
+				}
+			}
+		}
+	}
+
+	// nil workspace allocates internally and must agree too.
+	mus, vars := g.PredictBatch(tests[:5], nil)
+	for i := range mus {
+		mu, v := g.Predict(tests[i])
+		if mu != mus[i] || v != vars[i] {
+			t.Fatal("nil-workspace batch diverges")
+		}
+	}
+}
+
+// Growing and shrinking batch sizes through one workspace must not corrupt
+// results (buffers are grow-only and re-sliced per call).
+func TestPredictWorkspaceReuseAcrossSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs, ys := batchTrainingSet(30, 5, rng)
+	g, err := Fit(xs, ys, DefaultHyper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ws PredictWorkspace
+	for _, m := range []int{1, 64, 7, 128, 2} {
+		tests, _ := batchTrainingSet(m, 5, rng)
+		in := ws.Inputs(m, 5)
+		for i := range tests {
+			copy(in[i], tests[i])
+		}
+		mus, vars := g.PredictBatch(in, &ws)
+		if len(mus) != m || len(vars) != m {
+			t.Fatalf("m=%d: got %d/%d outputs", m, len(mus), len(vars))
+		}
+		for i := range tests {
+			mu, v := g.Predict(tests[i])
+			if mu != mus[i] || v != vars[i] {
+				t.Fatalf("m=%d point %d: workspace reuse diverges", m, i)
+			}
+		}
+	}
+}

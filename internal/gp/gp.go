@@ -173,6 +173,96 @@ func (g *GP) Predict(xs []float64) (mean, variance float64) {
 	return m*g.yStd + g.yMean, variance * g.yStd * g.yStd
 }
 
+// PredictWorkspace holds the grow-only scratch buffers PredictBatch works
+// in: the cross-kernel matrix, the mean/variance outputs, and a reusable
+// input-row matrix for callers that assemble model inputs per batch. One
+// workspace serves any sequence of batches (buffers grow to the largest
+// batch seen and are then reused), which is what makes the EI scoring loop
+// allocation-free per candidate. A workspace must not be shared by
+// concurrent PredictBatch calls; PredictBatch parallelizes internally.
+type PredictWorkspace struct {
+	ks         []float64 // m×n cross-kernel K(X*,X), row-major, overwritten by the variance solve
+	mean, vari []float64
+	inFlat     []float64
+	inRows     [][]float64
+}
+
+// Inputs returns an m×d row matrix backed by the workspace. Callers fill it
+// with model inputs (decision point + context) and pass it to PredictBatch;
+// the rows stay valid until the next Inputs call.
+func (w *PredictWorkspace) Inputs(m, d int) [][]float64 {
+	if cap(w.inFlat) < m*d {
+		w.inFlat = make([]float64, m*d)
+	}
+	if cap(w.inRows) < m {
+		w.inRows = make([][]float64, m)
+	}
+	rows := w.inRows[:m]
+	flat := w.inFlat[:m*d]
+	for i := range rows {
+		rows[i] = flat[i*d : (i+1)*d]
+	}
+	return rows
+}
+
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// PredictBatch returns the posterior means and variances at every row of xs
+// — numerically identical to calling Predict per row, but batched: the
+// cross-kernel matrix K(X*,X) is assembled once (row-parallel), the means
+// come from one row-parallel matrix-vector product against α, and the
+// variance forward-substitutions overwrite the cross-kernel rows in place,
+// so no per-candidate scratch is ever allocated. ws supplies the reusable
+// buffers (nil allocates a private workspace for the call); the returned
+// slices belong to the workspace and are valid until its next use.
+func (g *GP) PredictBatch(xs [][]float64, ws *PredictWorkspace) (means, vars []float64) {
+	if ws == nil {
+		ws = &PredictWorkspace{}
+	}
+	m, n := len(xs), len(g.x)
+	ws.ks = growFloats(ws.ks, m*n)
+	ws.mean = growFloats(ws.mean, m)
+	ws.vari = growFloats(ws.vari, m)
+	if m == 0 {
+		return ws.mean, ws.vari
+	}
+	ksm := mat.NewDense(m, n, ws.ks)
+	// Cross-kernel rows and the candidates' self-covariances.
+	mat.ParRange(m, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := ws.ks[i*n : (i+1)*n]
+			xi := xs[i]
+			for j, xj := range g.x {
+				row[j] = kernelEval(g.hyp, xj, xi)
+			}
+			ws.vari[i] = kernelEval(g.hyp, xi, xi)
+		}
+	})
+	// Means: one row-parallel mat-vec against α, then de-standardize.
+	mat.ParMulVecInto(ksm, g.alpha, ws.mean, 0)
+	// Variances: v_i = L⁻¹·k*_i in place over each cross-kernel row.
+	mat.ParRange(m, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := ws.ks[i*n : (i+1)*n]
+			g.chol.SolveLowerVecInto(row, row)
+			v := ws.vari[i] - mat.Dot(row, row)
+			if v < 1e-12 {
+				v = 1e-12
+			}
+			ws.vari[i] = v * g.yStd * g.yStd
+		}
+	})
+	for i := range ws.mean {
+		ws.mean[i] = ws.mean[i]*g.yStd + g.yMean
+	}
+	return ws.mean, ws.vari
+}
+
 // LogMarginalLikelihood returns the log evidence of the standardized
 // training targets under the GP prior — the quantity the slice sampler
 // explores.

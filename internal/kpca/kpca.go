@@ -127,36 +127,54 @@ func Fit(x [][]float64, kernel Kernel, opts Options) (*KPCA, error) {
 		opts.MinEigenFrac = 0.02
 	}
 
-	// Uncentered Gram matrix.
+	// Uncentered Gram matrix, assembled row-parallel. The lower triangle is
+	// ragged (row i holds i+1 entries), so each range unit processes the
+	// complementary row pair (i, n-1-i) to keep worker loads even; writes
+	// are disjoint per pair, so the result is deterministic.
 	k := mat.NewDense(n, n, nil)
-	for i := 0; i < n; i++ {
-		for j := 0; j <= i; j++ {
-			v := kernel.Eval(x[i], x[j])
-			k.Set(i, j, v)
-			k.Set(j, i, v)
+	half := (n + 1) / 2
+	mat.ParRange(half, 0, func(lo, hi int) {
+		for u := lo; u < hi; u++ {
+			rows := [2]int{u, n - 1 - u}
+			for ri, i := range rows {
+				if ri == 1 && i == rows[0] { // odd n: the middle row pairs with itself
+					continue
+				}
+				for j := 0; j <= i; j++ {
+					v := kernel.Eval(x[i], x[j])
+					k.Set(i, j, v)
+					k.Set(j, i, v)
+				}
+			}
 		}
-	}
+	})
 	// Row means and grand mean for double centering:
 	// K̃ = K - 1ₙK - K1ₙ + 1ₙK1ₙ.
 	rowMean := make([]float64, n)
-	var allMean float64
 	for i := 0; i < n; i++ {
 		var s float64
 		for j := 0; j < n; j++ {
 			s += k.At(i, j)
 		}
 		rowMean[i] = s / float64(n)
-		allMean += s
 	}
-	allMean /= float64(n * n)
-	kc := mat.NewDense(n, n, nil)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			kc.Set(i, j, k.At(i, j)-rowMean[i]-rowMean[j]+allMean)
+	var allMean float64
+	for _, rm := range rowMean {
+		allMean += rm
+	}
+	allMean /= float64(n)
+	// Double-center in place — the Gram matrix itself becomes K̃, dropping
+	// the n×n copy the old path allocated.
+	mat.ParRange(n, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := k.RowView(i)
+			for j := range row {
+				row[j] -= rowMean[i] + rowMean[j] - allMean
+			}
 		}
-	}
+	})
 
-	eig, err := mat.SymEigen(kc)
+	eig, err := mat.SymEigen(k)
 	if err != nil {
 		return nil, err
 	}
@@ -191,12 +209,14 @@ func Fit(x [][]float64, kernel Kernel, opts Options) (*KPCA, error) {
 
 	alphas := mat.NewDense(n, len(kept), nil)
 	lambdas := make([]float64, len(kept))
+	col := make([]float64, n) // one reusable eigenvector buffer for all components
 	for j, idx := range kept {
 		lambdas[j] = eig.Values[idx]
 		// Normalize so that λ·αᵀα = 1 (unit-norm feature-space components).
 		scale := 1 / math.Sqrt(eig.Values[idx])
+		eig.Vectors.ColInto(idx, col)
 		for i := 0; i < n; i++ {
-			alphas.Set(i, j, eig.Vectors.At(i, idx)*scale)
+			alphas.Set(i, j, col[i]*scale)
 		}
 	}
 
@@ -232,12 +252,9 @@ func (p *KPCA) Transform(x []float64) []float64 {
 		kc[i] = kx[i] - p.rowMean[i] - kxMean + p.allMean
 	}
 	out := make([]float64, p.NumComponents())
+	col := make([]float64, n)
 	for j := range out {
-		var s float64
-		for i := 0; i < n; i++ {
-			s += p.alphas.At(i, j) * kc[i]
-		}
-		out[j] = s
+		out[j] = mat.Dot(p.alphas.ColInto(j, col), kc)
 	}
 	return out
 }

@@ -1,0 +1,214 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomSPD(n int, rng *rand.Rand) *Dense {
+	b := NewDense(n, n, nil)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.Set(i, j, rng.NormFloat64())
+		}
+	}
+	a := Mul(b.T(), b)
+	a.AddDiag(0.1)
+	return a
+}
+
+// eigenResidual returns max_i ‖A·v_i − λ_i·v_i‖ / ‖A‖_F.
+func eigenResidual(a *Dense, e *Eigen) float64 {
+	n, _ := a.Dims()
+	fro := frobeniusNorm(a)
+	if fro == 0 {
+		fro = 1
+	}
+	var worst float64
+	col := make([]float64, n)
+	for j := 0; j < n; j++ {
+		e.Vectors.ColInto(j, col)
+		av := MulVec(a, col)
+		var r2 float64
+		for i := 0; i < n; i++ {
+			d := av[i] - e.Values[j]*col[i]
+			r2 += d * d
+		}
+		if r := math.Sqrt(r2) / fro; r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+func TestSymEigenQLvsJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{1, 2, 3, 5, 8, 17, 40} {
+		a := randomSPD(n, rng)
+		ql, err := SymEigen(a)
+		if err != nil {
+			t.Fatalf("n=%d: QL: %v", n, err)
+		}
+		jac, err := SymEigenJacobi(a)
+		if err != nil {
+			t.Fatalf("n=%d: Jacobi: %v", n, err)
+		}
+		scale := math.Abs(ql.Values[0])
+		for i := range ql.Values {
+			if math.Abs(ql.Values[i]-jac.Values[i]) > 1e-9*scale {
+				t.Fatalf("n=%d: eigenvalue %d: QL %v vs Jacobi %v", n, i, ql.Values[i], jac.Values[i])
+			}
+		}
+		if r := eigenResidual(a, ql); r > 1e-10 {
+			t.Fatalf("n=%d: QL residual %v", n, r)
+		}
+		if r := eigenResidual(a, jac); r > 1e-10 {
+			t.Fatalf("n=%d: Jacobi residual %v", n, r)
+		}
+	}
+}
+
+// Degenerate spectra (repeated eigenvalues) must not break either solver.
+func TestSymEigenRepeatedEigenvalues(t *testing.T) {
+	n := 6
+	a := Identity(n)
+	a.Set(3, 3, 5)
+	for _, solve := range []func(*Dense) (*Eigen, error){SymEigen, SymEigenJacobi} {
+		e, err := solve(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(e.Values[0]-5) > 1e-12 || math.Abs(e.Values[n-1]-1) > 1e-12 {
+			t.Fatalf("spectrum = %v", e.Values)
+		}
+		if r := eigenResidual(a, e); r > 1e-12 {
+			t.Fatalf("residual %v", r)
+		}
+	}
+}
+
+// The Jacobi tolerance is relative to the Frobenius norm: rescaling the
+// matrix by 12 orders of magnitude either way must neither stall convergence
+// (large matrices under the old absolute 1e-12 cutoff span all 64 sweeps)
+// nor produce garbage on tiny ones. Both solvers must keep relative accuracy
+// across scales.
+func TestSymEigenScaleInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	base := randomSPD(12, rng)
+	ref, err := SymEigen(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scale := range []float64{1e-12, 1e-6, 1, 1e6, 1e12} {
+		scaled := Scale(scale, base)
+		for name, solve := range map[string]func(*Dense) (*Eigen, error){
+			"QL": SymEigen, "Jacobi": SymEigenJacobi,
+		} {
+			e, err := solve(scaled)
+			if err != nil {
+				t.Fatalf("%s scale=%g: %v", name, scale, err)
+			}
+			for i := range e.Values {
+				want := ref.Values[i] * scale
+				if math.Abs(e.Values[i]-want) > 1e-9*math.Abs(ref.Values[0])*scale {
+					t.Fatalf("%s scale=%g: eigenvalue %d = %v, want %v", name, scale, i, e.Values[i], want)
+				}
+			}
+			if r := eigenResidual(scaled, e); r > 1e-10 {
+				t.Fatalf("%s scale=%g: residual %v", name, scale, r)
+			}
+		}
+	}
+}
+
+func TestSymEigenZeroMatrix(t *testing.T) {
+	z := NewDense(4, 4, nil)
+	for _, solve := range []func(*Dense) (*Eigen, error){SymEigen, SymEigenJacobi} {
+		e, err := solve(z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range e.Values {
+			if v != 0 {
+				t.Fatalf("zero matrix spectrum = %v", e.Values)
+			}
+		}
+	}
+}
+
+func TestColInto(t *testing.T) {
+	m := NewDense(3, 2, []float64{1, 2, 3, 4, 5, 6})
+	buf := make([]float64, 3)
+	if got := m.ColInto(1, buf); got[0] != 2 || got[1] != 4 || got[2] != 6 {
+		t.Fatalf("ColInto = %v", got)
+	}
+	if c := m.Col(0); c[0] != 1 || c[1] != 3 || c[2] != 5 {
+		t.Fatalf("Col = %v", c)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short dst did not panic")
+		}
+	}()
+	m.ColInto(0, make([]float64, 2))
+}
+
+func TestSolveLowerVecIntoAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomSPD(15, rng)
+	c, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 15)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	want := c.SolveLowerVec(b)
+	got := append([]float64(nil), b...)
+	c.SolveLowerVecInto(got, got) // in place
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("aliased solve diverges at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParRangeCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 8, 9, 100, 1000} {
+		hit := make([]int, n)
+		ParRange(n, 4, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				hit[i]++
+			}
+		})
+		for i, h := range hit {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d hit %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestParMulVecMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := NewDense(37, 21, nil)
+	for i := 0; i < 37; i++ {
+		for j := 0; j < 21; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+	}
+	x := make([]float64, 21)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := MulVec(a, x)
+	got := make([]float64, 37)
+	ParMulVecInto(a, x, got, 4)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("row %d: parallel %v != serial %v", i, got[i], want[i])
+		}
+	}
+}

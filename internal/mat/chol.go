@@ -124,18 +124,28 @@ func (c *Cholesky) SolveVec(b []float64) []float64 {
 // Used for computing predictive variances: v = L⁻¹·k*.
 func (c *Cholesky) SolveLowerVec(b []float64) []float64 {
 	n, _ := c.l.Dims()
-	if len(b) != n {
-		panic("mat: Cholesky.SolveLowerVec length mismatch")
+	return c.SolveLowerVecInto(b, make([]float64, n))
+}
+
+// SolveLowerVecInto solves L·y = b into dst and returns dst. dst may alias
+// b (the substitution only reads b[i] before writing dst[i]), which is what
+// lets batch prediction overwrite cross-kernel rows in place instead of
+// allocating a scratch vector per candidate.
+func (c *Cholesky) SolveLowerVecInto(b, dst []float64) []float64 {
+	n, _ := c.l.Dims()
+	if len(b) != n || len(dst) != n {
+		panic("mat: Cholesky.SolveLowerVecInto length mismatch")
 	}
-	y := make([]float64, n)
+	ld := c.l.data
 	for i := 0; i < n; i++ {
 		s := b[i]
+		lrow := ld[i*n : i*n+i+1]
 		for k := 0; k < i; k++ {
-			s -= c.l.At(i, k) * y[k]
+			s -= lrow[k] * dst[k]
 		}
-		y[i] = s / c.l.At(i, i)
+		dst[i] = s / lrow[i]
 	}
-	return y
+	return dst
 }
 
 // LogDet returns log|A| = 2·Σ log L_ii.

@@ -76,14 +76,32 @@ func (m *Dense) Row(i int) []float64 {
 
 // Col returns a copy of column j.
 func (m *Dense) Col(j int) []float64 {
+	return m.ColInto(j, make([]float64, m.rows))
+}
+
+// ColInto copies column j into dst (which must have length rows) and
+// returns dst. Hot loops that walk columns — eigenvector extraction, the
+// KPCA transform — use it to reuse one buffer instead of allocating a fresh
+// slice per column.
+func (m *Dense) ColInto(j int, dst []float64) []float64 {
 	if j < 0 || j >= m.cols {
 		panic(fmt.Sprintf("mat: col %d out of range %d", j, m.cols))
 	}
-	out := make([]float64, m.rows)
-	for i := 0; i < m.rows; i++ {
-		out[i] = m.data[i*m.cols+j]
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("mat: ColInto dst length %d, want %d", len(dst), m.rows))
 	}
-	return out
+	for i := 0; i < m.rows; i++ {
+		dst[i] = m.data[i*m.cols+j]
+	}
+	return dst
+}
+
+// RowView returns row i as a slice sharing the matrix's storage (no copy).
+func (m *Dense) RowView(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("mat: row %d out of range %d", i, m.rows))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
 }
 
 // Clone returns a deep copy.
@@ -128,19 +146,32 @@ func Mul(a, b *Dense) *Dense {
 
 // MulVec returns a·x as a new vector.
 func MulVec(a *Dense, x []float64) []float64 {
+	return MulVecInto(a, x, make([]float64, a.rows))
+}
+
+// MulVecInto computes a·x into dst (length rows) and returns dst —
+// the allocation-free form batch prediction builds on.
+func MulVecInto(a *Dense, x, dst []float64) []float64 {
 	if a.cols != len(x) {
 		panic(fmt.Sprintf("mat: MulVec shape mismatch %d×%d · %d", a.rows, a.cols, len(x)))
 	}
-	out := make([]float64, a.rows)
-	for i := 0; i < a.rows; i++ {
+	if len(dst) != a.rows {
+		panic(fmt.Sprintf("mat: MulVecInto dst length %d, want %d", len(dst), a.rows))
+	}
+	mulVecRange(a, x, dst, 0, a.rows)
+	return dst
+}
+
+// mulVecRange computes rows [lo,hi) of a·x into dst.
+func mulVecRange(a *Dense, x, dst []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		row := a.data[i*a.cols : (i+1)*a.cols]
 		var s float64
 		for j, v := range row {
 			s += v * x[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
 }
 
 // Add returns a+b.

@@ -1,0 +1,85 @@
+package sparksim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"locat/internal/conf"
+)
+
+// RunBatch executes the application once per configuration over a bounded
+// worker pool — the simulator's model of concurrent cluster slots — and
+// returns the results in configuration order.
+//
+// The batch reserves one contiguous block of run indices up front, so item i
+// always executes as run index first+i regardless of which worker picks it
+// up or when: the results are bit-for-bit identical to a serial loop of
+// RunApp calls, for any worker count. dataGB(i) supplies the input size of
+// item i and must be safe for concurrent calls (pure functions are).
+//
+// workers ≤ 0 selects GOMAXPROCS. stop, if non-nil, is polled before each
+// item is claimed; once it returns true no new items start. Polls are
+// serialized under a mutex, so stop keeps the same single-caller contract
+// it has everywhere else (it need not be thread-safe). The second return
+// value is the completed prefix length: results[0:done] are valid, and
+// done < len(cs) only when stop cut the batch short.
+func (s *Simulator) RunBatch(app *Application, cs []conf.Config, dataGB func(i int) float64, workers int, stop func() bool) (results []AppResult, done int) {
+	n := len(cs)
+	results = make([]AppResult, n)
+	if n == 0 {
+		return results, 0
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	first := s.ReserveRuns(n)
+	completed := make([]bool, n)
+	if workers == 1 {
+		// Serial fast path: no goroutine, same indices, same results.
+		for i := 0; i < n; i++ {
+			if stop != nil && stop() {
+				break
+			}
+			results[i] = s.RunAppAt(first+uint64(i), app, cs[i], dataGB(i))
+			completed[i] = true
+		}
+	} else {
+		if stop != nil {
+			inner := stop
+			var mu sync.Mutex
+			stop = func() bool {
+				mu.Lock()
+				defer mu.Unlock()
+				return inner()
+			}
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					if stop != nil && stop() {
+						return
+					}
+					results[i] = s.RunAppAt(first+uint64(i), app, cs[i], dataGB(i))
+					completed[i] = true
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for done < n && completed[done] {
+		done++
+	}
+	return results, done
+}

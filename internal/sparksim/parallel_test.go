@@ -1,0 +1,144 @@
+package sparksim
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"locat/internal/conf"
+)
+
+func testApp() *Application {
+	return &Application{Name: "mini", Queries: []Query{scanQuery(), joinQuery(), dimJoinQuery()}}
+}
+
+// Concurrent RunApp / RunQuery calls must be race-free (the shared counter is
+// atomic and each run owns a private noise stream). Run under -race.
+func TestConcurrentRunAppIsRaceFree(t *testing.T) {
+	cl := ARM()
+	s := New(cl, 7)
+	app := testApp()
+	c := cl.Space().Default()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				r := s.RunApp(app, c, 100)
+				if !(r.Sec > 0) {
+					t.Error("non-positive app time")
+					return
+				}
+				q := s.RunQuery(joinQuery(), c, 100)
+				if !(q.Sec > 0) {
+					t.Error("non-positive query time")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// A run's result depends only on its index, not on the order runs execute.
+func TestRunAppAtIsOrderIndependent(t *testing.T) {
+	cl := X86()
+	app := testApp()
+	c := cl.Space().Default()
+
+	forward := New(cl, 3)
+	backward := New(cl, 3)
+	fw := make([]AppResult, 6)
+	bw := make([]AppResult, 6)
+	for i := 0; i < 6; i++ {
+		fw[i] = forward.RunAppAt(uint64(i), app, c, 150)
+	}
+	for i := 5; i >= 0; i-- {
+		bw[i] = backward.RunAppAt(uint64(i), app, c, 150)
+	}
+	if !reflect.DeepEqual(fw, bw) {
+		t.Fatal("RunAppAt results depend on execution order")
+	}
+}
+
+// RunBatch over many workers must reproduce a serial RunApp loop bit-for-bit,
+// including the run-counter state it leaves behind.
+func TestRunBatchMatchesSerial(t *testing.T) {
+	cl := ARM()
+	app := testApp()
+	space := cl.Space()
+	rng := rand.New(rand.NewSource(17))
+	cs := make([]conf.Config, 12)
+	for i := range cs {
+		cs[i] = space.Random(rng)
+	}
+	sizes := func(i int) float64 { return 100 + 50*float64(i%3) }
+
+	serialSim := New(cl, 99)
+	serialSim.RunApp(app, space.Default(), 100) // offset the counter
+	serial := make([]AppResult, len(cs))
+	for i, c := range cs {
+		serial[i] = serialSim.RunApp(app, c, sizes(i))
+	}
+	after := serialSim.RunApp(app, space.Default(), 100)
+
+	for _, workers := range []int{1, 3, 8} {
+		parSim := New(cl, 99)
+		parSim.RunApp(app, space.Default(), 100)
+		got, done := parSim.RunBatch(app, cs, sizes, workers, nil)
+		if done != len(cs) {
+			t.Fatalf("workers=%d: done=%d, want %d", workers, done, len(cs))
+		}
+		if !reflect.DeepEqual(got, serial) {
+			t.Fatalf("workers=%d: batch results diverge from serial loop", workers)
+		}
+		if next := parSim.RunApp(app, space.Default(), 100); !reflect.DeepEqual(next, after) {
+			t.Fatalf("workers=%d: run counter diverged after batch", workers)
+		}
+	}
+}
+
+// Stop cuts the batch short: a valid completed prefix is reported and no new
+// items start after stop fires.
+func TestRunBatchHonorsStop(t *testing.T) {
+	cl := ARM()
+	app := testApp()
+	space := cl.Space()
+	cs := make([]conf.Config, 16)
+	for i := range cs {
+		cs[i] = space.Default()
+	}
+	s := New(cl, 5)
+	calls := 0
+	stop := func() bool { calls++; return calls > 4 }
+	got, done := s.RunBatch(app, cs, func(int) float64 { return 100 }, 1, stop)
+	if done >= len(cs) {
+		t.Fatalf("stop did not cut the batch: done=%d", done)
+	}
+	ref := New(cl, 5)
+	for i := 0; i < done; i++ {
+		want := ref.RunAppAt(uint64(i), app, cs[i], 100)
+		if !reflect.DeepEqual(got[i], want) {
+			t.Fatalf("prefix item %d invalid after stop", i)
+		}
+	}
+}
+
+// Two simulators with the same seed must still agree when one is driven by
+// batches and the other serially — the documented equivalence contract.
+func TestSeedEquivalenceAcrossDrivers(t *testing.T) {
+	cl := ARM()
+	s1 := New(cl, 42)
+	s2 := New(cl, 42)
+	c := cl.Space().Default()
+	q := joinQuery()
+	for i := 0; i < 10; i++ {
+		r1 := s1.RunQuery(q, c, 200)
+		r2 := s2.RunQueryAt(uint64(i), q, c, 200)
+		if r1.Sec != r2.Sec || r1.GCSec != r2.GCSec {
+			t.Fatalf("run %d: counter-claimed and explicit-index results differ", i)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"locat/internal/conf"
 )
@@ -39,15 +40,23 @@ type AppResult struct {
 // — a multiplicative lognormal per-query factor models task-level variance,
 // and a second per-run factor models whole-cluster state (page cache, JIT
 // warmth, co-located load) that shifts an entire application execution.
-// Both are fully determined by the simulator's seed and the sequence of
-// calls; two simulators constructed with the same seed and driven
-// identically produce identical results.
+//
+// Every run draws its noise from a private deterministic stream seeded by
+// (simulator seed, run index); the run index is claimed from an atomic
+// counter (RunQuery / RunApp) or fixed explicitly (RunQueryAt / RunAppAt
+// against a ReserveRuns block). The i-th run of a simulator is therefore
+// fully determined by the seed and i, independent of execution order or
+// interleaving: two simulators with the same seed driven identically
+// produce identical results, concurrent RunApp calls are race-free, and a
+// parallel driver that reserves a block of indices reproduces the serial
+// call sequence bit-for-bit.
 type Simulator struct {
 	cluster  *Cluster
 	space    *conf.Space
 	noise    float64
 	runNoise float64
-	rng      *rand.Rand
+	seed     int64
+	runs     atomic.Uint64 // next unclaimed run index
 }
 
 // Option configures a Simulator.
@@ -73,7 +82,7 @@ func New(cluster *Cluster, seed int64, opts ...Option) *Simulator {
 		space:    cluster.Space(),
 		noise:    0.15,
 		runNoise: 0.08,
-		rng:      rand.New(rand.NewSource(seed)),
+		seed:     seed,
 	}
 	for _, o := range opts {
 		o(s)
@@ -87,13 +96,51 @@ func (s *Simulator) Cluster() *Cluster { return s.cluster }
 // Space returns the configuration space bound to the cluster.
 func (s *Simulator) Space() *conf.Space { return s.space }
 
+// ReserveRuns atomically claims a contiguous block of n run indices and
+// returns the first. A parallel driver reserves one block per batch and
+// executes RunAppAt(first+i, …) for the i-th item; because each index owns
+// an independent noise stream, the results match a serial loop of RunApp
+// calls (which claims the same indices one at a time) exactly.
+func (s *Simulator) ReserveRuns(n int) uint64 {
+	if n <= 0 {
+		panic("sparksim: ReserveRuns of non-positive count")
+	}
+	return s.runs.Add(uint64(n)) - uint64(n)
+}
+
+// runRNG returns the private noise stream of run index idx.
+func (s *Simulator) runRNG(idx uint64) *rand.Rand {
+	return rand.New(rand.NewSource(runSeed(s.seed, idx)))
+}
+
+// runSeed derives the seed of run idx from the simulator seed by a
+// splitmix64-style mix, so neighbouring indices get decorrelated streams.
+func runSeed(seed int64, idx uint64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(idx+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
 // RunQuery executes a single query under configuration c with the given
-// input data size (GB) and returns its result.
+// input data size (GB) and returns its result. The call claims the next run
+// index; safe for concurrent use.
 func (s *Simulator) RunQuery(q Query, c conf.Config, dataGB float64) QueryResult {
+	return s.RunQueryAt(s.ReserveRuns(1), q, c, dataGB)
+}
+
+// RunQueryAt executes a single query as run index idx without touching the
+// run counter. Safe for concurrent use.
+func (s *Simulator) RunQueryAt(idx uint64, q Query, c conf.Config, dataGB float64) QueryResult {
+	return s.runQuery(s.runRNG(idx), q, c, dataGB)
+}
+
+// runQuery executes one query drawing task-level noise from rng.
+func (s *Simulator) runQuery(rng *rand.Rand, q Query, c conf.Config, dataGB float64) QueryResult {
 	e := deriveEnv(s.cluster, c)
 	r := simulateQuery(e, q, c, dataGB)
 	if s.noise > 0 {
-		f := math.Exp(s.rng.NormFloat64() * s.noise)
+		f := math.Exp(rng.NormFloat64() * s.noise)
 		r.Sec *= f
 		r.GCSec *= f
 	}
@@ -103,15 +150,23 @@ func (s *Simulator) RunQuery(q Query, c conf.Config, dataGB float64) QueryResult
 // RunApp executes every query of the application in order under
 // configuration c and returns per-query and total results. One per-run
 // cluster-state factor scales the whole execution on top of the per-query
-// noise.
+// noise. The call claims the next run index; safe for concurrent use.
 func (s *Simulator) RunApp(app *Application, c conf.Config, dataGB float64) AppResult {
+	return s.RunAppAt(s.ReserveRuns(1), app, c, dataGB)
+}
+
+// RunAppAt executes the application as run index idx without touching the
+// run counter: the per-run cluster-state factor and every query's noise come
+// from the index's private stream. Safe for concurrent use.
+func (s *Simulator) RunAppAt(idx uint64, app *Application, c conf.Config, dataGB float64) AppResult {
+	rng := s.runRNG(idx)
 	runFactor := 1.0
 	if s.runNoise > 0 {
-		runFactor = math.Exp(s.rng.NormFloat64() * s.runNoise)
+		runFactor = math.Exp(rng.NormFloat64() * s.runNoise)
 	}
 	out := AppResult{Queries: make([]QueryResult, 0, len(app.Queries))}
 	for _, q := range app.Queries {
-		r := s.RunQuery(q, c, dataGB)
+		r := s.runQuery(rng, q, c, dataGB)
 		r.Sec *= runFactor
 		r.GCSec *= runFactor
 		out.Sec += r.Sec

@@ -75,6 +75,13 @@ type Options struct {
 	// reports phase transitions, sample counts and the stop condition on
 	// stderr; Quiet silences all of it.
 	Quiet bool
+	// Parallelism bounds the simulated cluster slots used to execute
+	// independent sample-collection runs (phase-1 LHS samples, warm-start
+	// anchors) concurrently. 0 uses all CPU cores, 1 runs serially. The
+	// result is identical for every setting — the simulator derives each
+	// run's noise from its run index, not from execution order — so this
+	// only trades wall-clock time for CPU.
+	Parallelism int
 }
 
 // Result is the outcome of a tuning session.
@@ -188,6 +195,7 @@ func Tune(o Options) (*Result, error) {
 	opts.UseIICP = !o.DisableIICP
 	opts.UseDAGP = !o.DisableDAGP
 	opts.DataSchedule = o.Schedule
+	opts.Workers = o.Parallelism
 	if !o.Quiet {
 		opts.Logf = progress.New(os.Stderr, "locat:")
 	}

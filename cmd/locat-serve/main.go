@@ -46,6 +46,7 @@ func main() {
 		store   = flag.String("store", "", "history-store directory (empty: in-memory, lost on exit)")
 		workers = flag.Int("workers", 2, "maximum concurrent tuning sessions")
 		quiet   = flag.Bool("quiet", false, "suppress the progress log")
+		backend = flag.String("backend", "", "default execution backend: sim, record=PATH, replay=PATH, sparkrest=URL (jobs may override)")
 	)
 	flag.Parse()
 
@@ -53,6 +54,7 @@ func main() {
 		Workers:    *workers,
 		HistoryDir: *store,
 		Quiet:      *quiet,
+		Backend:    *backend,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "locat-serve:", err)

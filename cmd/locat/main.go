@@ -5,6 +5,8 @@
 //
 //	locat -bench TPC-H -cluster x86 -size 200
 //	locat -bench TPC-DS -size 300 -compare     # also run the four baselines
+//	locat -quick -backend record=sess.trace    # record every execution
+//	locat -quick -backend replay=sess.trace    # replay it, simulator detached
 package main
 
 import (
@@ -25,7 +27,8 @@ func main() {
 		compare = flag.Bool("compare", false, "also tune with the four SOTA baselines")
 		quick   = flag.Bool("quick", false, "reduced budgets for a fast demo")
 		quiet   = flag.Bool("quiet", false, "suppress the progress log on stderr")
-		par     = flag.Int("parallel", 0, "concurrent simulated cluster slots for sample collection (0 = all cores, 1 = serial; results are identical)")
+		par     = flag.Int("parallel", 0, "concurrent execution slots for sample collection (0 = all cores, 1 = serial; identical results on the simulator)")
+		backend = flag.String("backend", "", "execution backend: sim (default), record=PATH, replay=PATH[,miss=nearest[,tol=T]], sparkrest=URL")
 		out     = flag.String("o", "", "write the tuned configuration to this spark-defaults.conf file")
 	)
 	flag.Parse()
@@ -37,6 +40,7 @@ func main() {
 		Seed:        *seed,
 		Quiet:       *quiet,
 		Parallelism: *par,
+		Backend:     *backend,
 	}
 	if *quick {
 		o.NQCSA, o.NIICP, o.MaxIterations = 12, 10, 10

@@ -1,0 +1,79 @@
+// Trace record/replay demo: run a quick LOCAT tuning session on the
+// simulator while recording every execution to a JSON-lines trace, then
+// replay the trace with the simulator fully detached and verify that the
+// replayed session selects the identical configuration at the identical
+// cost — zero-execution re-tuning, and the mechanism behind the
+// repository's hermetic CI fixtures.
+//
+//	go run ./examples/trace-replay
+//	go run ./examples/trace-replay -trace sess.trace.gz -keep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"reflect"
+
+	"locat"
+)
+
+func main() {
+	var (
+		trace = flag.String("trace", "", "trace file (default: a temp file; .gz compresses)")
+		keep  = flag.Bool("keep", false, "keep the trace file instead of deleting it")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	path := *trace
+	if path == "" {
+		path = filepath.Join(os.TempDir(), fmt.Sprintf("locat-demo-%d.trace.gz", os.Getpid()))
+		defer func() {
+			if !*keep {
+				os.Remove(path)
+			}
+		}()
+	}
+
+	opts := locat.Options{
+		Benchmark:     "TPC-H",
+		DataSizeGB:    100,
+		Seed:          *seed,
+		NQCSA:         10,
+		NIICP:         8,
+		MaxIterations: 8,
+		Quiet:         true,
+	}
+
+	fmt.Println("LOCAT execution-backend demo — trace record/replay")
+
+	opts.Backend = "record=" + path
+	recorded, err := locat.Tune(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded: tuned %.0f s (default %.0f s) over %d runs → %s (%d bytes)\n",
+		recorded.TunedSeconds, recorded.DefaultSeconds, recorded.Runs, path, fi.Size())
+
+	opts.Backend = "replay=" + path
+	replayed, err := locat.Tune(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replayed: tuned %.0f s over %d runs, zero cluster executions\n",
+		replayed.TunedSeconds, replayed.Runs)
+
+	if !reflect.DeepEqual(recorded.BestParams, replayed.BestParams) ||
+		recorded.TunedSeconds != replayed.TunedSeconds ||
+		recorded.OverheadSeconds != replayed.OverheadSeconds {
+		log.Fatal("replay diverged from the recorded session")
+	}
+	fmt.Println("replay reproduced the recorded session's configuration and cost exactly")
+}

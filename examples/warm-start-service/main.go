@@ -5,9 +5,11 @@
 // fraction of the optimization time.
 //
 //	go run ./examples/warm-start-service
+//	go run ./examples/warm-start-service -quick -backend replay=testdata/warmstart-service.trace.gz
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -15,18 +17,28 @@ import (
 )
 
 func main() {
-	svc, err := locat.NewService(locat.ServiceOptions{Workers: 2, Quiet: true})
+	var (
+		backend = flag.String("backend", "", "execution backend: sim (default), record=PATH, replay=PATH, sparkrest=URL")
+		quick   = flag.Bool("quick", false, "reduced budgets for a fast pass")
+	)
+	flag.Parse()
+
+	svc, err := locat.NewService(locat.ServiceOptions{Workers: 2, Quiet: true, Backend: *backend})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer svc.Close()
 
 	tune := func(gb float64, seed int64) *locat.Result {
-		id, err := svc.Submit(locat.Options{
+		o := locat.Options{
 			Benchmark:  "TPC-H",
 			DataSizeGB: gb,
 			Seed:       seed,
-		})
+		}
+		if *quick {
+			o.NQCSA, o.NIICP, o.MaxIterations = 10, 8, 8
+		}
+		id, err := svc.Submit(o)
 		if err != nil {
 			log.Fatal(err)
 		}

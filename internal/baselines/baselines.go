@@ -29,6 +29,7 @@ import (
 	"math/rand"
 
 	"locat/internal/conf"
+	"locat/internal/runner"
 	"locat/internal/sparksim"
 )
 
@@ -67,8 +68,9 @@ type Tuner interface {
 	// Name returns the paper's name for the tuner.
 	Name() string
 	// Tune searches for a configuration minimizing the application latency
-	// at targetGB.
-	Tune(sim *sparksim.Simulator, app *sparksim.Application, targetGB float64, seed int64) (*Report, error)
+	// at targetGB on the given execution backend (a *sparksim.Simulator
+	// satisfies runner.Runner directly).
+	Tune(r runner.Runner, app *sparksim.Application, targetGB float64, seed int64) (*Report, error)
 }
 
 // All returns fresh instances of the four SOTA baselines in the paper's
@@ -79,7 +81,7 @@ func All() []Tuner {
 
 // budgeted tracks execution accounting shared by all baselines.
 type budgeted struct {
-	sim *sparksim.Simulator
+	r   runner.Runner
 	app *sparksim.Application
 	gb  float64
 	rep *Report
@@ -87,7 +89,7 @@ type budgeted struct {
 
 // run executes the full application once and updates the accounting.
 func (b *budgeted) run(c conf.Config) float64 {
-	r := b.sim.RunApp(b.app, c, b.gb)
+	r := b.r.RunApp(b.app, c, b.gb)
 	b.rep.OverheadSec += r.Sec
 	b.rep.Runs++
 	return r.Sec
@@ -99,6 +101,6 @@ func (b *budgeted) finish(best conf.Config) (*Report, error) {
 		return nil, errors.New("baselines: tuner produced no configuration")
 	}
 	b.rep.Best = best
-	b.rep.TunedSec = b.sim.NoiselessAppTime(b.app, best, b.gb)
+	b.rep.TunedSec = b.r.NoiselessAppTime(b.app, best, b.gb)
 	return b.rep, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"locat/internal/conf"
 	"locat/internal/ml"
+	"locat/internal/runner"
 	"locat/internal/sparksim"
 )
 
@@ -38,14 +39,14 @@ func NewDAC() *DAC {
 func (d *DAC) Name() string { return "DAC" }
 
 // Tune implements Tuner.
-func (d *DAC) Tune(sim *sparksim.Simulator, app *sparksim.Application, targetGB float64, seed int64) (*Report, error) {
-	space := sim.Space()
+func (d *DAC) Tune(r runner.Runner, app *sparksim.Application, targetGB float64, seed int64) (*Report, error) {
+	space := r.Space()
 	var search SearchSpace = space
 	if d.Restrict != nil {
 		search = d.Restrict
 	}
 	rng := rand.New(rand.NewSource(seed))
-	b := &budgeted{sim: sim, app: app, gb: targetGB, rep: &Report{Tuner: d.Name()}}
+	b := &budgeted{r: r, app: app, gb: targetGB, rep: &Report{Tuner: d.Name()}}
 
 	// Training-sample collection: random configurations at a mix of data
 	// sizes around the target (DAC's datasize-awareness).
@@ -57,15 +58,15 @@ func (d *DAC) Tune(sim *sparksim.Simulator, app *sparksim.Application, targetGB 
 	for i := 0; i < d.TrainRuns; i++ {
 		c := search.Random(rng)
 		gb := sizes[i%len(sizes)]
-		r := sim.RunApp(app, c, gb)
-		b.rep.OverheadSec += r.Sec
+		res := r.RunApp(app, c, gb)
+		b.rep.OverheadSec += res.Sec
 		b.rep.Runs++
 		row := append(space.Encode(c), gb/1024)
 		xs = append(xs, row)
-		ys = append(ys, r.Sec)
+		ys = append(ys, res.Sec)
 		if gb == targetGB {
 			confs = append(confs, c)
-			obs = append(obs, r.Sec)
+			obs = append(obs, res.Sec)
 		}
 	}
 

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"locat/internal/conf"
+	"locat/internal/runner"
 	"locat/internal/sparksim"
 )
 
@@ -43,10 +44,10 @@ var memoryParams = []int{
 }
 
 // Tune implements Tuner.
-func (g *GBORL) Tune(sim *sparksim.Simulator, app *sparksim.Application, targetGB float64, seed int64) (*Report, error) {
-	space := sim.Space()
+func (g *GBORL) Tune(r runner.Runner, app *sparksim.Application, targetGB float64, seed int64) (*Report, error) {
+	space := r.Space()
 	rng := rand.New(rand.NewSource(seed))
-	b := &budgeted{sim: sim, app: app, gb: targetGB, rep: &Report{Tuner: g.Name()}}
+	b := &budgeted{r: r, app: app, gb: targetGB, rep: &Report{Tuner: g.Name()}}
 
 	// Stage 1 — analytical memory guidance: the white-box model predicts
 	// that the per-task execution memory should cover the expected working

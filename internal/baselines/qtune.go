@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 
+	"locat/internal/runner"
 	"locat/internal/sparksim"
 )
 
@@ -35,13 +36,13 @@ func NewQTune() *QTune { return &QTune{Generations: 40, Episodes: 16, EliteFrac:
 func (q *QTune) Name() string { return "QTune" }
 
 // Tune implements Tuner.
-func (q *QTune) Tune(sim *sparksim.Simulator, app *sparksim.Application, targetGB float64, seed int64) (*Report, error) {
-	var search SearchSpace = sim.Space()
+func (q *QTune) Tune(r runner.Runner, app *sparksim.Application, targetGB float64, seed int64) (*Report, error) {
+	var search SearchSpace = r.Space()
 	if q.Restrict != nil {
 		search = q.Restrict
 	}
 	rng := rand.New(rand.NewSource(seed))
-	b := &budgeted{sim: sim, app: app, gb: targetGB, rep: &Report{Tuner: q.Name()}}
+	b := &budgeted{r: r, app: app, gb: targetGB, rep: &Report{Tuner: q.Name()}}
 
 	d := search.Dim()
 	mean := make([]float64, d)

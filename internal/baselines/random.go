@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"locat/internal/conf"
+	"locat/internal/runner"
 	"locat/internal/sparksim"
 )
 
@@ -27,10 +28,10 @@ func NewRandom(runs int) *Random {
 func (r *Random) Name() string { return "Random" }
 
 // Tune implements Tuner.
-func (r *Random) Tune(sim *sparksim.Simulator, app *sparksim.Application, targetGB float64, seed int64) (*Report, error) {
-	space := sim.Space()
+func (r *Random) Tune(run runner.Runner, app *sparksim.Application, targetGB float64, seed int64) (*Report, error) {
+	space := run.Space()
 	rng := rand.New(rand.NewSource(seed))
-	b := &budgeted{sim: sim, app: app, gb: targetGB, rep: &Report{Tuner: r.Name()}}
+	b := &budgeted{r: run, app: app, gb: targetGB, rep: &Report{Tuner: r.Name()}}
 	var best conf.Config
 	bestSec := math.Inf(1)
 	for i := 0; i < r.Runs; i++ {

@@ -6,6 +6,7 @@ import (
 
 	"locat/internal/bo"
 	"locat/internal/conf"
+	"locat/internal/runner"
 	"locat/internal/sparksim"
 )
 
@@ -34,9 +35,9 @@ func NewTuneful() *Tuneful { return &Tuneful{TopK: 10, BOIter: 200} }
 func (t *Tuneful) Name() string { return "Tuneful" }
 
 // Tune implements Tuner.
-func (t *Tuneful) Tune(sim *sparksim.Simulator, app *sparksim.Application, targetGB float64, seed int64) (*Report, error) {
-	space := sim.Space()
-	b := &budgeted{sim: sim, app: app, gb: targetGB, rep: &Report{Tuner: t.Name()}}
+func (t *Tuneful) Tune(r runner.Runner, app *sparksim.Application, targetGB float64, seed int64) (*Report, error) {
+	space := r.Space()
+	b := &budgeted{r: r, app: app, gb: targetGB, rep: &Report{Tuner: t.Name()}}
 	def := space.Default()
 
 	var search SearchSpace

@@ -35,6 +35,7 @@ import (
 	"locat/internal/iicp"
 	"locat/internal/progress"
 	"locat/internal/qcsa"
+	"locat/internal/runner"
 	"locat/internal/sparksim"
 )
 
@@ -210,15 +211,18 @@ type Report struct {
 // Evaluations returns the total number of tuning runs.
 func (r *Report) Evaluations() int { return r.FullRuns + r.RQARuns }
 
-// Tuner tunes one application on one simulated cluster.
+// Tuner tunes one application against one execution backend.
 type Tuner struct {
-	sim  *sparksim.Simulator
+	run  runner.Runner
 	app  *sparksim.Application
 	opts Options
 }
 
-// New returns a LOCAT tuner for the application on the simulator's cluster.
-func New(sim *sparksim.Simulator, app *sparksim.Application, opts Options) *Tuner {
+// New returns a LOCAT tuner for the application on the given execution
+// backend — the simulator adapter, a trace recorder/replayer, or a REST
+// gateway (see internal/runner). *sparksim.Simulator satisfies the
+// interface directly, so simulator sessions read exactly as before.
+func New(run runner.Runner, app *sparksim.Application, opts Options) *Tuner {
 	if opts.NQCSA <= 0 {
 		opts.NQCSA = 30
 	}
@@ -240,7 +244,7 @@ func New(sim *sparksim.Simulator, app *sparksim.Application, opts Options) *Tune
 	if opts.WarmFreshRuns <= 0 {
 		opts.WarmFreshRuns = 4
 	}
-	return &Tuner{sim: sim, app: app, opts: opts}
+	return &Tuner{run: run, app: app, opts: opts}
 }
 
 func (t *Tuner) logf(format string, args ...any) { progress.F(t.opts.Logf, format, args...) }
@@ -272,7 +276,7 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 	if targetGB <= 0 {
 		return nil, errors.New("core: target data size must be positive")
 	}
-	space := t.sim.Space()
+	space := t.run.Space()
 	rep := &Report{}
 	sizeOf := func(run int) float64 {
 		if t.opts.DataSchedule != nil {
@@ -312,7 +316,7 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 	}
 	runFull := func(c conf.Config) float64 {
 		ds := sizeOf(rep.Evaluations())
-		return recordFull(c, ds, t.sim.RunApp(t.app, c, ds))
+		return recordFull(c, ds, t.run.RunApp(t.app, c, ds))
 	}
 	// runFullBatch fans independent full-application runs over the worker
 	// pool (Options.Workers simulated cluster slots) and reduces the results
@@ -326,7 +330,7 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 		for i := range cs {
 			sizes[i] = sizeOf(evalBase + i)
 		}
-		runs, done := t.sim.RunBatch(t.app, cs, func(i int) float64 { return sizes[i] }, t.opts.Workers, t.opts.Stop)
+		runs, done := runner.RunBatch(t.run, t.app, cs, func(i int) float64 { return sizes[i] }, t.opts.Workers, t.opts.Stop)
 		ys = make([]float64, done)
 		for i := 0; i < done; i++ {
 			ys[i] = recordFull(cs[i], sizes[i], runs[i])
@@ -535,7 +539,7 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 		Eval: func(x, ctx []float64) float64 {
 			c := sub.Decode(x)
 			ds := sizeOf(rep.Evaluations())
-			run := t.sim.RunApp(target, c, ds)
+			run := t.run.RunApp(target, c, ds)
 			rep.OverheadSec += run.Sec
 			rep.SearchSec += run.Sec
 			if t.opts.UseQCSA {
@@ -579,7 +583,7 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 		p2warm = len(init)
 	}
 	rep.Best = t.pickBest(sub, p2res, p2warm, targetGB)
-	rep.TunedSec = t.sim.NoiselessAppTime(t.app, rep.Best, targetGB)
+	rep.TunedSec = t.run.NoiselessAppTime(t.app, rep.Best, targetGB)
 	t.logf("done: %d runs, %.0f s overhead (%.0f sampling + %.0f search), tuned latency %.0f s",
 		rep.Evaluations(), rep.OverheadSec, rep.SamplingSec, rep.SearchSec, rep.TunedSec)
 	return rep, nil

@@ -22,17 +22,20 @@ func Fig15APvsIP(s *Session) ([]Table, error) {
 		Title:  "TPC-DS duration (s) tuned with all parameters (AP) vs important parameters (IP), ARM",
 		Header: []string{"size(GB)", "AP", "IP", "IP gain (×)"},
 	}
-	cl := Cluster("arm")
 	app := workloads.TPCDS()
 	var ratios []float64
 	for _, gb := range s.sizes() {
 		opts := s.locatOptions()
 		opts.UseIICP = false
-		simAP := sparksim.New(cl, s.Seed)
-		ap, err := core.New(simAP, app, opts).Tune(gb)
+		rAP, err := s.runner("arm", fmt.Sprintf("fig15/ap/%v", gb))
 		if err != nil {
 			return nil, err
 		}
+		ap, err := core.New(rAP, app, opts).Tune(gb)
+		if err != nil {
+			return nil, err
+		}
+		s.chargeCost(ap.TunedSec)
 		ip, err := s.Tune("arm", "TPC-DS", "LOCAT", gb)
 		if err != nil {
 			return nil, err
@@ -50,7 +53,6 @@ func Fig15APvsIP(s *Session) ([]Table, error) {
 // classification, and reports the GC time.
 func (s *Session) tunedSplit(clusterName, benchName string, gb float64, best conf.Config,
 	classify *qcsa.Result) (csq, ciq, gc float64, err error) {
-	cl := Cluster(clusterName)
 	app, err := workloads.ByName(benchName)
 	if err != nil {
 		return 0, 0, 0, err
@@ -59,8 +61,11 @@ func (s *Session) tunedSplit(clusterName, benchName string, gb float64, best con
 	for _, n := range classify.Sensitive {
 		sens[n] = true
 	}
-	sim := sparksim.New(cl, s.Seed, sparksim.WithNoise(0))
-	res := sim.RunApp(app, best, gb)
+	r, err := s.runner(clusterName, fmt.Sprintf("split/%s/%s/%v", clusterName, benchName, gb), sparksim.WithNoise(0))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	res := r.RunApp(app, best, gb)
 	for _, qr := range res.Queries {
 		if sens[qr.Name] {
 			csq += qr.Sec
@@ -230,7 +235,7 @@ func Fig21Hybrid(s *Session) ([]Table, error) {
 		drow := []string{tn}
 		orow := []string{tn}
 		for _, m := range modes {
-			tuned, over, err := s.runHybrid(cl, app, qres, sub, tn, gb, m.restrict, m.rqa)
+			tuned, over, err := s.runHybrid(app, qres, sub, tn, gb, m.restrict, m.rqa)
 			if err != nil {
 				return nil, err
 			}
@@ -248,7 +253,7 @@ func Fig21Hybrid(s *Session) ([]Table, error) {
 
 // runHybrid runs one tuner in one hybrid mode and returns the tuned
 // full-application latency and the tuner's own optimization overhead.
-func (s *Session) runHybrid(cl *sparksim.Cluster, app *sparksim.Application,
+func (s *Session) runHybrid(app *sparksim.Application,
 	qres *qcsa.Result, sub *conf.Subspace, tuner string, gb float64,
 	restrict, rqa bool) (tuned, overhead float64, err error) {
 
@@ -256,7 +261,11 @@ func (s *Session) runHybrid(cl *sparksim.Cluster, app *sparksim.Application,
 	if rqa {
 		target = qres.RQA
 	}
-	sim := sparksim.New(cl, s.Seed)
+	mode := fmt.Sprintf("hybrid/%s/r%v-q%v/%v", tuner, restrict, rqa, gb)
+	r, err := s.runner("arm", mode)
+	if err != nil {
+		return 0, 0, err
+	}
 
 	if tuner == "LOCAT" {
 		// "DAGP" in the paper's Figure 21: BO with the datasize-aware GP,
@@ -264,10 +273,11 @@ func (s *Session) runHybrid(cl *sparksim.Cluster, app *sparksim.Application,
 		opts := s.locatOptions()
 		opts.UseQCSA = rqa
 		opts.UseIICP = restrict
-		rep, err := core.New(sim, app, opts).Tune(gb)
+		rep, err := core.New(r, app, opts).Tune(gb)
 		if err != nil {
 			return 0, 0, err
 		}
+		s.chargeCost(rep.TunedSec)
 		return rep.TunedSec, rep.OverheadSec, nil
 	}
 
@@ -293,11 +303,13 @@ func (s *Session) runHybrid(cl *sparksim.Cluster, app *sparksim.Application,
 			b.Restrict = sub
 		}
 	}
-	rep, err := bt.Tune(sim, target, gb, s.Seed+7)
+	rep, err := bt.Tune(r, target, gb, s.Seed+7)
 	if err != nil {
 		return 0, 0, err
 	}
-	// The hybrid's final configuration is evaluated on the full application.
-	full := sparksim.New(cl, s.Seed, sparksim.WithNoise(0))
-	return full.NoiselessAppTime(app, rep.Best, gb), rep.OverheadSec, nil
+	// The hybrid's final configuration is evaluated on the full application
+	// (NoiselessAppTime is deterministic, so the tuning backend serves).
+	tuned = r.NoiselessAppTime(app, rep.Best, gb)
+	s.chargeCost(tuned)
+	return tuned, rep.OverheadSec, nil
 }

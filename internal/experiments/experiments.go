@@ -19,6 +19,7 @@ import (
 	"locat/internal/conf"
 	"locat/internal/core"
 	"locat/internal/qcsa"
+	"locat/internal/runner"
 	"locat/internal/sparksim"
 	"locat/internal/workloads"
 )
@@ -77,12 +78,70 @@ type Session struct {
 	// Quick scales every budget down for fast test/bench runs.
 	Quick bool
 
-	tuned map[string]*Outcome
+	tuned   map[string]*Outcome
+	factory *runner.Factory
+	tally   runner.Tally
+
+	// usage cursors for TakeUsage deltas.
+	lastRuns int64
+	lastSec  float64
+	cost     float64
+	lastCost float64
 }
 
-// NewSession returns a session.
+// NewSession returns a session on the simulator backend.
 func NewSession(seed int64, quick bool) *Session {
-	return &Session{Seed: seed, Quick: quick, tuned: map[string]*Outcome{}}
+	s, _ := NewSessionBackend(seed, quick, "")
+	return s
+}
+
+// NewSessionBackend returns a session on the given execution-backend spec
+// (see internal/runner: "sim", "record=PATH", "replay=PATH", …). Replay
+// sessions regenerate figures hermetically from a recorded trace; Close
+// must be called to flush a recording.
+func NewSessionBackend(seed int64, quick bool, backend string) (*Session, error) {
+	f, err := runner.ParseSpec(backend)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{Seed: seed, Quick: quick, tuned: map[string]*Outcome{}, factory: f}, nil
+}
+
+// Close flushes the backend factory (the trace sink of a recording
+// session).
+func (s *Session) Close() error { return s.factory.Close() }
+
+// runner materializes one metered execution backend for an experiment
+// stage. Stream keys are deterministic strings derived from what the stage
+// computes, so a recorded session replays stage by stage.
+func (s *Session) runner(clusterName, stream string, opts ...sparksim.Option) (runner.Runner, error) {
+	return s.runnerSeeded(clusterName, s.Seed, stream, opts...)
+}
+
+// runnerSeeded is runner with an explicit seed (probe stages that vary it).
+func (s *Session) runnerSeeded(clusterName string, seed int64, stream string, opts ...sparksim.Option) (runner.Runner, error) {
+	r, err := s.factory.New(Cluster(clusterName), seed, stream, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return runner.Metered(r, &s.tally), nil
+}
+
+// chargeCost accrues a tuned-latency figure into the session's final-cost
+// accounting (charged on every request, memoized or fresh, so the total is
+// independent of which experiment computed the outcome first).
+func (s *Session) chargeCost(sec float64) { s.cost += sec }
+
+// TakeUsage returns the execution accounting accumulated since the last
+// call: runs executed, simulated cluster seconds consumed, and the sum of
+// tuned final costs requested. The benchmark harness snapshots it around
+// each experiment to emit the machine-readable perf report the CI
+// regression gate compares.
+func (s *Session) TakeUsage() (runs int64, clusterSec, finalCost float64) {
+	r, sec := s.tally.Snapshot()
+	runs, clusterSec, finalCost = r-s.lastRuns, sec-s.lastSec, s.cost-s.lastCost
+	s.lastRuns, s.lastSec, s.lastCost = r, sec, s.cost
+	return runs, clusterSec, finalCost
 }
 
 // Outcome is one tuner's result on one (cluster, benchmark, size) triple.
@@ -153,17 +212,20 @@ func Cluster(name string) *sparksim.Cluster {
 func (s *Session) Tune(clusterName, benchName, tuner string, gb float64) (*Outcome, error) {
 	key := fmt.Sprintf("%s/%s/%s/%v", clusterName, benchName, tuner, gb)
 	if o, ok := s.tuned[key]; ok {
+		s.chargeCost(o.TunedSec)
 		return o, nil
 	}
-	cl := Cluster(clusterName)
 	app, err := workloads.ByName(benchName)
 	if err != nil {
 		return nil, err
 	}
-	sim := sparksim.New(cl, s.Seed)
+	r, err := s.runner(clusterName, "tune/"+key)
+	if err != nil {
+		return nil, err
+	}
 	var out *Outcome
 	if tuner == "LOCAT" {
-		rep, err := core.New(sim, app, s.locatOptions()).Tune(gb)
+		rep, err := core.New(r, app, s.locatOptions()).Tune(gb)
 		if err != nil {
 			return nil, err
 		}
@@ -180,7 +242,7 @@ func (s *Session) Tune(clusterName, benchName, tuner string, gb float64) (*Outco
 		if bt == nil {
 			return nil, fmt.Errorf("experiments: unknown tuner %q", tuner)
 		}
-		rep, err := bt.Tune(sim, app, gb, s.Seed+7)
+		rep, err := bt.Tune(r, app, gb, s.Seed+7)
 		if err != nil {
 			return nil, err
 		}
@@ -188,6 +250,7 @@ func (s *Session) Tune(clusterName, benchName, tuner string, gb float64) (*Outco
 			OverheadSec: rep.OverheadSec, Runs: rep.Runs}
 	}
 	s.tuned[key] = out
+	s.chargeCost(out.TunedSec)
 	return out, nil
 }
 
@@ -206,16 +269,19 @@ func (s *Session) canonicalQCSA(clusterName, benchName string, gb float64, n int
 }
 
 // randomRuns executes the benchmark n times under random configurations,
-// fanned over concurrent simulated cluster slots (qcsa.Collect); per-run
-// noise streams keep the results identical to the serial loop this was.
+// fanned over concurrent execution slots (qcsa.Collect); per-run noise
+// streams keep the results identical to the serial loop this was.
 func (s *Session) randomRuns(clusterName, benchName string, gb float64, n int) ([]sparksim.AppResult, error) {
 	cl := Cluster(clusterName)
 	app, err := workloads.ByName(benchName)
 	if err != nil {
 		return nil, err
 	}
-	sim := sparksim.New(cl, s.Seed)
-	return qcsa.CollectRandom(sim, app, cl.Space(), n, gb, 0, newRng(s.Seed+11)), nil
+	r, err := s.runner(clusterName, fmt.Sprintf("random/%s/%s/%v/%d", clusterName, benchName, gb, n))
+	if err != nil {
+		return nil, err
+	}
+	return qcsa.CollectRandom(r, app, cl.Space(), n, gb, 0, newRng(s.Seed+11)), nil
 }
 
 // Registry maps figure/table IDs to drivers.

@@ -21,21 +21,24 @@ func f0(v float64) string { return fmt.Sprintf("%.0f", v) }
 func hours(sec float64) string { return fmt.Sprintf("%.1f", sec/3600) }
 
 // iicpSamples collects n random-configuration samples of the benchmark over
-// concurrent simulated cluster slots (qcsa.Collect).
+// concurrent execution slots (qcsa.Collect).
 func (s *Session) iicpSamples(clusterName, benchName string, gb float64, n int) ([]iicp.Sample, error) {
 	cl := Cluster(clusterName)
 	app, err := workloads.ByName(benchName)
 	if err != nil {
 		return nil, err
 	}
-	sim := sparksim.New(cl, s.Seed)
+	r, err := s.runner(clusterName, fmt.Sprintf("iicp/%s/%s/%v/%d", clusterName, benchName, gb, n))
+	if err != nil {
+		return nil, err
+	}
 	space := cl.Space()
 	rng := newRng(s.Seed + 13)
 	cs := make([]conf.Config, n)
 	for i := range cs {
 		cs[i] = space.Random(rng)
 	}
-	runs := qcsa.Collect(sim, app, cs, gb, 0)
+	runs := qcsa.Collect(r, app, cs, gb, 0)
 	out := make([]iicp.Sample, n)
 	for i, r := range runs {
 		out[i] = iicp.Sample{Conf: cs[i], Sec: r.Sec}

@@ -3,12 +3,12 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"locat/internal/conf"
 	"locat/internal/iicp"
 	"locat/internal/kpca"
 	"locat/internal/ml"
-	"locat/internal/sparksim"
 	"locat/internal/stat"
 	"locat/internal/workloads"
 )
@@ -24,7 +24,11 @@ func (s *Session) varyParams(clusterName, benchName string, gb float64, idx []in
 	if err != nil {
 		return nil, err
 	}
-	sim := sparksim.New(cl, seed)
+	stream := fmt.Sprintf("vary/%s/%s/%v/%s/%d/%d", clusterName, benchName, gb, idxKey(idx), n, seed)
+	r, err := s.runnerSeeded(clusterName, seed, stream)
+	if err != nil {
+		return nil, err
+	}
 	space := cl.Space()
 	sub, err := conf.NewSubspace(space, space.Default(), idx)
 	if err != nil {
@@ -33,9 +37,18 @@ func (s *Session) varyParams(clusterName, benchName string, gb float64, idx []in
 	rng := newRng(seed)
 	out := make([]float64, 0, n)
 	for i := 0; i < n; i++ {
-		out = append(out, sim.RunApp(app, sub.Random(rng), gb).Sec)
+		out = append(out, r.RunApp(app, sub.Random(rng), gb).Sec)
 	}
 	return out, nil
+}
+
+// idxKey renders a parameter-index set as a compact stable stream-key part.
+func idxKey(idx []int) string {
+	parts := make([]string, len(idx))
+	for i, j := range idx {
+		parts[i] = fmt.Sprint(j)
+	}
+	return strings.Join(parts, "-")
 }
 
 // Fig6KernelComparison regenerates Figure 6: the standard deviation of

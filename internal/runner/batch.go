@@ -1,0 +1,106 @@
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"locat/internal/conf"
+)
+
+// RunBatch executes the application once per configuration and returns the
+// results in configuration order plus the completed prefix length.
+//
+// Backends advertising a native batch implementation (Capabilities
+// NativeBatch + the BatchRunner interface) are called directly. Everything
+// else is transparently wrapped by a bounded worker pool over ReserveRuns /
+// RunAppAt: the pool reserves one contiguous index block up front so item i
+// always executes as run index first+i regardless of which worker claims
+// it, reproducing a serial RunApp loop bit-for-bit on index-deterministic
+// backends. The pool clamps its worker count to the backend's MaxParallel.
+//
+// workers ≤ 0 selects GOMAXPROCS. stop, if non-nil, is polled before each
+// item is claimed; polls are serialized, so stop keeps the single-caller
+// contract it has everywhere else. results[0:done] are valid; done <
+// len(cs) only when stop cut the batch short.
+func RunBatch(r Runner, app *Application, cs []conf.Config, dataGB func(i int) float64, workers int, stop func() bool) (results []AppResult, done int) {
+	caps := CapsOf(r)
+	if br, ok := r.(BatchRunner); ok && caps.NativeBatch {
+		return br.RunBatch(app, cs, dataGB, workers, stop)
+	}
+	return poolBatch(r, app, cs, dataGB, clampWorkers(workers, len(cs), caps.MaxParallel), stop)
+}
+
+// clampWorkers resolves the effective pool size: the requested count
+// (GOMAXPROCS when ≤ 0), at most one per item, at most the backend cap.
+func clampWorkers(workers, items, maxParallel int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > items {
+		workers = items
+	}
+	if maxParallel > 0 && workers > maxParallel {
+		workers = maxParallel
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// poolBatch is the generic bounded worker pool, mirroring the simulator's
+// native implementation so wrapped backends keep its exact semantics.
+func poolBatch(r Runner, app *Application, cs []conf.Config, dataGB func(i int) float64, workers int, stop func() bool) (results []AppResult, done int) {
+	n := len(cs)
+	results = make([]AppResult, n)
+	if n == 0 {
+		return results, 0
+	}
+	first := r.ReserveRuns(n)
+	completed := make([]bool, n)
+	if workers == 1 {
+		// Serial fast path: no goroutine, same indices, same results.
+		for i := 0; i < n; i++ {
+			if stop != nil && stop() {
+				break
+			}
+			results[i] = r.RunAppAt(first+uint64(i), app, cs[i], dataGB(i))
+			completed[i] = true
+		}
+	} else {
+		if stop != nil {
+			inner := stop
+			var mu sync.Mutex
+			stop = func() bool {
+				mu.Lock()
+				defer mu.Unlock()
+				return inner()
+			}
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					if stop != nil && stop() {
+						return
+					}
+					results[i] = r.RunAppAt(first+uint64(i), app, cs[i], dataGB(i))
+					completed[i] = true
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for done < n && completed[done] {
+		done++
+	}
+	return results, done
+}

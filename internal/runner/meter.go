@@ -1,0 +1,103 @@
+package runner
+
+import (
+	"math"
+	"sync/atomic"
+
+	"locat/internal/conf"
+)
+
+// Tally accumulates execution accounting across any number of metered
+// runners — the machine-readable totals the benchmark harness emits
+// (cluster seconds consumed, runs executed) and the perf-regression gate
+// compares. Safe for concurrent use.
+type Tally struct {
+	runs    atomic.Int64
+	secBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// add accumulates one execution.
+func (t *Tally) add(sec float64) {
+	t.runs.Add(1)
+	for {
+		old := t.secBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + sec)
+		if t.secBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Snapshot returns the executions counted and the cluster seconds consumed.
+func (t *Tally) Snapshot() (runs int64, clusterSec float64) {
+	return t.runs.Load(), math.Float64frombits(t.secBits.Load())
+}
+
+// Meter wraps a backend and charges every execution (app and query runs;
+// not noiseless evaluations, which consume no cluster time) to a Tally.
+// Batches dispatch through the package RunBatch on the inner backend, so
+// native batch paths stay native.
+type Meter struct {
+	inner Runner
+	t     *Tally
+}
+
+// Metered wraps r, charging executions to t.
+func Metered(r Runner, t *Tally) *Meter { return &Meter{inner: r, t: t} }
+
+// Capabilities advertise a native batch (Meter's own RunBatch negotiates on
+// the inner backend), inheriting everything else.
+func (m *Meter) Capabilities() Capabilities {
+	caps := CapsOf(m.inner)
+	caps.Name = "metered(" + caps.Name + ")"
+	caps.NativeBatch = true
+	return caps
+}
+
+// Space returns the inner backend's configuration space.
+func (m *Meter) Space() *conf.Space { return m.inner.Space() }
+
+// ReserveRuns delegates index accounting.
+func (m *Meter) ReserveRuns(n int) uint64 { return m.inner.ReserveRuns(n) }
+
+// RunApp executes and charges one application run.
+func (m *Meter) RunApp(app *Application, c conf.Config, dataGB float64) AppResult {
+	res := m.inner.RunApp(app, c, dataGB)
+	m.t.add(res.Sec)
+	return res
+}
+
+// RunAppAt executes and charges one application run at a pinned index.
+func (m *Meter) RunAppAt(idx uint64, app *Application, c conf.Config, dataGB float64) AppResult {
+	res := m.inner.RunAppAt(idx, app, c, dataGB)
+	m.t.add(res.Sec)
+	return res
+}
+
+// RunQuery executes and charges one single-query run.
+func (m *Meter) RunQuery(q Query, c conf.Config, dataGB float64) QueryResult {
+	res := m.inner.RunQuery(q, c, dataGB)
+	m.t.add(res.Sec)
+	return res
+}
+
+// RunBatch dispatches on the inner backend (native where available) and
+// charges the completed prefix.
+func (m *Meter) RunBatch(app *Application, cs []conf.Config, dataGB func(i int) float64, workers int, stop func() bool) ([]AppResult, int) {
+	results, done := RunBatch(m.inner, app, cs, dataGB, workers, stop)
+	for i := 0; i < done; i++ {
+		m.t.add(results[i].Sec)
+	}
+	return results, done
+}
+
+// NoiselessAppTime delegates without charging: deterministic evaluations
+// consume no cluster time.
+func (m *Meter) NoiselessAppTime(app *Application, c conf.Config, dataGB float64) float64 {
+	return m.inner.NoiselessAppTime(app, c, dataGB)
+}
+
+var (
+	_ BatchRunner = (*Meter)(nil)
+	_ Reporter    = (*Meter)(nil)
+)

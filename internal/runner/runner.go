@@ -1,0 +1,148 @@
+// Package runner defines the execution-backend contract of the tuner: the
+// seam between LOCAT's sample-efficient search (core, bo, qcsa, iicp,
+// baselines, experiments, service) and whatever actually executes a Spark
+// SQL application under a candidate configuration.
+//
+// The paper tunes against live ARM and x86 clusters; this reproduction
+// historically called the analytical simulator (internal/sparksim)
+// concretely from every layer. Runner breaks that coupling: the tuner only
+// needs something that can execute an application under a configuration at
+// a data size and report per-query latencies. Three backends ship:
+//
+//   - Sim wraps *sparksim.Simulator bit-for-bit (the default).
+//   - Recorder / Replayer persist every (config, context) → result pair of
+//     a session to a JSON-lines trace and replay it deterministically with
+//     the simulator detached — zero-execution re-tuning and hermetic CI
+//     fixtures (see trace.go).
+//   - SparkRest maps configurations to spark-submit/REST payloads and
+//     parses event-log-shaped responses — the production path to a real
+//     cluster, exercised in tests against httptest (see sparkrest.go).
+//
+// Backends differ in what they can do natively (concurrent slots,
+// cooperative stop, determinism); Capabilities reports that, and the
+// package-level RunBatch negotiates: backends with a native batch
+// implementation are called directly, everything else is transparently
+// wrapped by a bounded worker pool that reproduces serial results exactly
+// (see batch.go).
+package runner
+
+import (
+	"fmt"
+
+	"locat/internal/conf"
+	"locat/internal/sparksim"
+)
+
+// The workload and result data model is shared with the simulator package,
+// which doubles as the analytical profile library (an Application is a list
+// of query profiles; an AppResult is per-query latencies plus totals — the
+// same shape a Spark event log reduces to). Aliases let backend-agnostic
+// code speak "runner" without importing sparksim.
+type (
+	// Application is an ordered set of queries executed back to back.
+	Application = sparksim.Application
+	// Query is the analytical profile of one Spark SQL query.
+	Query = sparksim.Query
+	// AppResult is the outcome of one application execution.
+	AppResult = sparksim.AppResult
+	// QueryResult is the outcome of one query execution.
+	QueryResult = sparksim.QueryResult
+)
+
+// Runner executes applications under candidate configurations. All methods
+// must be safe for concurrent use: the batch pool fans RunAppAt calls over
+// worker goroutines.
+//
+// Run indices exist so that stochastic backends can make results a pure
+// function of (backend state, index) instead of call order: a driver that
+// reserves a block of indices and executes them on concurrent workers
+// reproduces the serial call sequence bit-for-bit. Backends without that
+// property (a real cluster) simply treat the index as an opaque sequence
+// number.
+type Runner interface {
+	// Space returns the configuration space the backend executes over.
+	Space() *conf.Space
+	// ReserveRuns atomically claims a contiguous block of n run indices and
+	// returns the first.
+	ReserveRuns(n int) uint64
+	// RunApp executes every query of the application in order under c and
+	// returns per-query and total results, claiming the next run index.
+	RunApp(app *Application, c conf.Config, dataGB float64) AppResult
+	// RunAppAt executes the application as run index idx without touching
+	// the run counter.
+	RunAppAt(idx uint64, app *Application, c conf.Config, dataGB float64) AppResult
+	// RunQuery executes a single query under c, claiming the next run index.
+	RunQuery(q Query, c conf.Config, dataGB float64) QueryResult
+	// NoiselessAppTime returns the backend's best deterministic estimate of
+	// the application latency under c — the quantity tuned-vs-default
+	// comparisons report. The simulator evaluates its cost model noise-free;
+	// a replay backend looks the value up in the trace; a live backend may
+	// have to execute a validation run.
+	NoiselessAppTime(app *Application, c conf.Config, dataGB float64) float64
+}
+
+// BatchRunner is implemented by backends with a native concurrent batch
+// path. RunBatch executes the application once per configuration and
+// returns the results in configuration order together with the completed
+// prefix length (done < len(cs) only when stop cut the batch short).
+// Use the package-level RunBatch to dispatch; it falls back to a bounded
+// worker pool over RunAppAt for backends without this interface.
+type BatchRunner interface {
+	Runner
+	RunBatch(app *Application, cs []conf.Config, dataGB func(i int) float64, workers int, stop func() bool) (results []AppResult, done int)
+}
+
+// Capabilities describe what a backend can do natively, so drivers can
+// negotiate instead of assuming the simulator.
+type Capabilities struct {
+	// Name identifies the backend ("sparksim", "trace-record",
+	// "trace-replay", "sparkrest").
+	Name string
+	// NativeBatch reports a native concurrent RunBatch; without it the
+	// package-level RunBatch wraps the backend in the generic worker pool.
+	NativeBatch bool
+	// MaxParallel bounds the concurrent runs the backend can absorb
+	// (0 = unbounded). The batch pool clamps its worker count to it.
+	MaxParallel int
+	// Stoppable reports that batch execution polls a stop hook between
+	// runs. The generic pool provides this for every wrapped backend.
+	Stoppable bool
+	// Deterministic reports that an identical call sequence produces
+	// identical results (replay traces, noise-free simulators) — what makes
+	// a backend usable as a hermetic CI fixture.
+	Deterministic bool
+}
+
+// Reporter is optionally implemented by backends that describe themselves.
+type Reporter interface {
+	Capabilities() Capabilities
+}
+
+// Faulty is optionally implemented by backends that can fail out-of-band
+// (network transports): Err returns the first execution failure, or nil.
+// Runner methods have no error channel — a failed run reports a zero
+// result — so session drivers must consult BackendErr after tuning and
+// refuse to report a result produced against a dead backend.
+type Faulty interface {
+	Err() error
+}
+
+// BackendErr returns the backend's sticky execution failure, if any.
+func BackendErr(r Runner) error {
+	if f, ok := r.(Faulty); ok {
+		return f.Err()
+	}
+	return nil
+}
+
+// CapsOf returns a backend's capabilities. Backends without a Reporter get
+// conservative defaults, with NativeBatch derived from the BatchRunner
+// interface — so capability negotiation works for any Runner
+// implementation, not just the ones shipped here.
+func CapsOf(r Runner) Capabilities {
+	if rep, ok := r.(Reporter); ok {
+		return rep.Capabilities()
+	}
+	_, batch := r.(BatchRunner)
+	return Capabilities{Name: fmt.Sprintf("%T", r), NativeBatch: batch}
+}

@@ -1,0 +1,201 @@
+package runner_test
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"locat/internal/core"
+	"locat/internal/runner"
+	"locat/internal/sparksim"
+	"locat/internal/workloads"
+)
+
+// quickOpts shrink the tuning loop while keeping the full pipeline.
+func quickOpts() core.Options {
+	o := core.DefaultOptions()
+	o.NQCSA = 10
+	o.NIICP = 8
+	o.MaxIter = 8
+	o.MinIter = 4
+	o.MCMCSamples = 2
+	return o
+}
+
+// priorFromReport converts a finished session's full-application history
+// into a Prior, the way the tuning service's history store does.
+func priorFromReport(rep *core.Report) *core.Prior {
+	p := &core.Prior{}
+	for _, e := range rep.History {
+		if !e.FullApp {
+			continue
+		}
+		p.Obs = append(p.Obs, core.PriorObs{
+			Conf: e.Conf, DataGB: e.DataGB, Sec: e.Sec, QuerySecs: e.QuerySecs,
+		})
+	}
+	if rep.QCSA != nil {
+		p.Sensitive = append([]string(nil), rep.QCSA.Sensitive...)
+	}
+	if rep.IICP != nil {
+		p.Important = append([]int(nil), rep.IICP.Important...)
+	}
+	return p
+}
+
+// tuneOn runs one LOCAT session (optionally warm-started and/or parallel)
+// on the given backend.
+func tuneOn(t *testing.T, r runner.Runner, prior *core.Prior, workers int, gb float64, seed int64) *core.Report {
+	t.Helper()
+	o := quickOpts()
+	o.Seed = seed
+	o.Prior = prior
+	o.Workers = workers
+	rep, err := core.New(r, workloads.TPCH(), o).Tune(gb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// The tentpole acceptance check: recording a full tuning session via the
+// trace backend and replaying it with the simulator detached must
+// reproduce the same selected configuration and cost — for a cold session
+// AND a warm-started one, serially and through the batch pool.
+func TestSessionRecordReplayReproducesSelection(t *testing.T) {
+	cl := sparksim.ARM()
+	dir := t.TempDir()
+
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, tc.name+".trace")
+			recF, err := runner.ParseSpec("record=" + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Cold session at 100 GB, then a warm session at 140 GB seeded
+			// with the cold session's history — the service's flow.
+			coldRec, err := recF.New(cl, 21, "cold")
+			if err != nil {
+				t.Fatal(err)
+			}
+			coldRep := tuneOn(t, coldRec, nil, tc.workers, 100, 21)
+			prior := priorFromReport(coldRep)
+			warmRec, err := recF.New(cl, 22, "warm")
+			if err != nil {
+				t.Fatal(err)
+			}
+			warmRep := tuneOn(t, warmRec, prior, tc.workers, 140, 22)
+			if !warmRep.WarmStarted {
+				t.Fatal("second session did not warm-start")
+			}
+			if err := recF.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Replay both sessions from the trace, simulator detached.
+			repF, err := runner.ParseSpec("replay=" + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			coldPlay, err := repF.New(cl, 21, "cold")
+			if err != nil {
+				t.Fatal(err)
+			}
+			coldGot := tuneOn(t, coldPlay, nil, tc.workers, 100, 21)
+			warmPlay, err := repF.New(cl, 22, "warm")
+			if err != nil {
+				t.Fatal(err)
+			}
+			warmGot := tuneOn(t, warmPlay, priorFromReport(coldGot), tc.workers, 140, 22)
+
+			for _, cmp := range []struct {
+				phase     string
+				want, got *core.Report
+			}{
+				{"cold", coldRep, coldGot},
+				{"warm", warmRep, warmGot},
+			} {
+				if !reflect.DeepEqual(cmp.want.Best, cmp.got.Best) {
+					t.Fatalf("%s replay selected a different configuration", cmp.phase)
+				}
+				if cmp.want.TunedSec != cmp.got.TunedSec {
+					t.Fatalf("%s replay tuned cost %.6f, want %.6f", cmp.phase, cmp.got.TunedSec, cmp.want.TunedSec)
+				}
+				if cmp.want.OverheadSec != cmp.got.OverheadSec {
+					t.Fatalf("%s replay overhead %.6f, want %.6f", cmp.phase, cmp.got.OverheadSec, cmp.want.OverheadSec)
+				}
+				if len(cmp.want.History) != len(cmp.got.History) {
+					t.Fatalf("%s replay history length %d, want %d", cmp.phase, len(cmp.got.History), len(cmp.want.History))
+				}
+			}
+			if !warmGot.WarmStarted {
+				t.Fatal("replayed warm session lost its warm start")
+			}
+		})
+	}
+}
+
+// Recording must not perturb the session: a recorded tuning run must select
+// exactly what the bare simulator selects.
+func TestRecordingIsTransparent(t *testing.T) {
+	cl := sparksim.ARM()
+	bare := tuneOn(t, sparksim.New(cl, 5), nil, 1, 100, 5)
+
+	path := filepath.Join(t.TempDir(), "x.trace")
+	f, err := runner.ParseSpec("record=" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := f.New(cl, 5, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recorded := tuneOn(t, rec, nil, 1, 100, 5)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bare.Best, recorded.Best) || bare.TunedSec != recorded.TunedSec {
+		t.Fatal("recording changed the session outcome")
+	}
+}
+
+// A session replayed with a different worker count must still reproduce
+// the recording: run indices, not scheduling, identify executions.
+func TestReplayWorkerCountIndependence(t *testing.T) {
+	cl := sparksim.ARM()
+	path := filepath.Join(t.TempDir(), "w.trace")
+	f, err := runner.ParseSpec("record=" + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := f.New(cl, 9, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tuneOn(t, rec, nil, 4, 100, 9)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		rf, err := runner.ParseSpec("replay=" + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		play, err := rf.New(cl, 9, "s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := tuneOn(t, play, nil, workers, 100, 9)
+		if !reflect.DeepEqual(want.Best, got.Best) || want.TunedSec != got.TunedSec {
+			t.Fatalf("replay at %d workers diverged", workers)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package runner
+
+import (
+	"locat/internal/sparksim"
+)
+
+// Sim adapts *sparksim.Simulator to the Runner contract, preserving the
+// simulator's behavior bit-for-bit: every method delegates, including the
+// native RunBatch, so a Sim-backed session is byte-identical to the
+// pre-abstraction code path.
+//
+// The bare *sparksim.Simulator also satisfies Runner (its method set is the
+// contract's origin); the adapter only adds explicit capability reporting.
+type Sim struct {
+	*sparksim.Simulator
+}
+
+// NewSim wraps a simulator.
+func NewSim(s *sparksim.Simulator) Sim { return Sim{Simulator: s} }
+
+// Capabilities report the simulator's native batch path and per-run-index
+// noise streams (stop polling is honored inside Simulator.RunBatch).
+func (s Sim) Capabilities() Capabilities {
+	return Capabilities{
+		Name:        "sparksim",
+		NativeBatch: true,
+		Stoppable:   true,
+	}
+}
+
+// Compile-time checks: the adapter and the bare simulator both satisfy the
+// batch contract.
+var (
+	_ BatchRunner = Sim{}
+	_ BatchRunner = (*sparksim.Simulator)(nil)
+	_ Reporter    = Sim{}
+)

@@ -1,0 +1,560 @@
+package runner
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"locat/internal/conf"
+)
+
+// The trace backend persists every execution of a session — each
+// (configuration, application, data size) → result pair — to a JSON-lines
+// file and replays it later with the original backend detached. Replaying a
+// recorded tuning session reproduces the tuner's exact trajectory (the
+// search is deterministic given its seed and the observed results), which
+// buys two things the paper's online setting cannot: zero-execution
+// re-tuning against past runs (in the spirit of retrieval-augmented /
+// zero-execution tuning), and hermetic end-to-end CI fixtures whose
+// selected configurations are pinned byte-for-byte.
+//
+// A trace file may interleave several independent runners (a tuning
+// session plus its noiseless validation runner, or many service jobs);
+// each runner writes under its own stream key and replays only its stream.
+
+// TraceKind labels one trace entry.
+type TraceKind string
+
+// Trace entry kinds.
+const (
+	// TraceApp is one application execution (RunApp / RunAppAt / batch).
+	TraceApp TraceKind = "app"
+	// TraceQuery is one single-query execution.
+	TraceQuery TraceKind = "query"
+	// TraceNoiseless is one deterministic NoiselessAppTime evaluation.
+	TraceNoiseless TraceKind = "noiseless"
+)
+
+// TraceEntry is one recorded execution — the JSON-lines wire format.
+type TraceEntry struct {
+	// Stream separates independent runners sharing one trace file.
+	Stream string `json:"stream,omitempty"`
+	// Kind is the entry kind.
+	Kind TraceKind `json:"kind"`
+	// Idx is the run index the execution was performed at (Kind app/query).
+	Idx uint64 `json:"idx,omitempty"`
+	// App is the application name and NQ its query count (app identity —
+	// a session's reduced query application is distinct from the full one).
+	App string `json:"app,omitempty"`
+	NQ  int    `json:"nq,omitempty"`
+	// QueryName identifies the query of a TraceQuery entry.
+	QueryName string `json:"query,omitempty"`
+	// Conf is the executed configuration (natural units).
+	Conf []float64 `json:"conf"`
+	// DataGB is the input size of the run.
+	DataGB float64 `json:"data_gb"`
+	// Result holds the outcome of app-shaped entries.
+	Result *AppResult `json:"result,omitempty"`
+	// QueryRes holds the outcome of a TraceQuery entry.
+	QueryRes *QueryResult `json:"query_res,omitempty"`
+	// Sec holds the scalar outcome of a TraceNoiseless entry.
+	Sec float64 `json:"sec,omitempty"`
+}
+
+// key renders the entry's lookup identity: everything that determines the
+// result except the run index (noise) — kind, app identity, configuration
+// and data size. Configurations round-trip JSON exactly (encoding/json
+// emits the shortest float64 representation that re-parses identically),
+// so a replayed session re-derives byte-identical keys.
+func (e *TraceEntry) key() string {
+	var b strings.Builder
+	b.WriteString(string(e.Kind))
+	b.WriteByte('|')
+	b.WriteString(e.App)
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(e.NQ))
+	b.WriteByte('|')
+	b.WriteString(e.QueryName)
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatFloat(e.DataGB, 'g', -1, 64))
+	for _, v := range e.Conf {
+		b.WriteByte(',')
+		b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// TraceSink collects the entries of one or more recorders and writes them
+// out as JSON lines. Entries are buffered and written sorted by (stream,
+// kind, idx) on Close, so recording the same session twice produces
+// byte-identical files regardless of worker interleaving — what makes
+// committed fixture traces reviewable and regenerable.
+type TraceSink struct {
+	mu      sync.Mutex
+	entries []TraceEntry
+	w       io.WriteCloser
+	path    string
+}
+
+// NewTraceSink buffers entries destined for w (closed on Close).
+func NewTraceSink(w io.WriteCloser) *TraceSink { return &TraceSink{w: w} }
+
+// CreateTraceSink buffers entries destined for the file at path. A ".gz"
+// suffix selects transparent gzip compression.
+func CreateTraceSink(path string) (*TraceSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	var w io.WriteCloser = f
+	if strings.HasSuffix(path, ".gz") {
+		w = &gzipFileWriter{f: f, zw: gzip.NewWriter(f)}
+	}
+	return &TraceSink{w: w, path: path}, nil
+}
+
+// gzipFileWriter closes both the gzip stream and the underlying file.
+type gzipFileWriter struct {
+	f  *os.File
+	zw *gzip.Writer
+}
+
+func (g *gzipFileWriter) Write(p []byte) (int, error) { return g.zw.Write(p) }
+func (g *gzipFileWriter) Close() error {
+	if err := g.zw.Close(); err != nil {
+		g.f.Close()
+		return err
+	}
+	return g.f.Close()
+}
+
+// add appends one entry; safe for concurrent recorders and batch workers.
+func (s *TraceSink) add(e TraceEntry) {
+	s.mu.Lock()
+	s.entries = append(s.entries, e)
+	s.mu.Unlock()
+}
+
+// Close sorts and writes the buffered entries and closes the destination.
+func (s *TraceSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.w == nil {
+		return nil
+	}
+	sort.SliceStable(s.entries, func(a, b int) bool {
+		ea, eb := &s.entries[a], &s.entries[b]
+		if ea.Stream != eb.Stream {
+			return ea.Stream < eb.Stream
+		}
+		if ea.Kind != eb.Kind {
+			return ea.Kind < eb.Kind
+		}
+		if ea.Idx != eb.Idx {
+			return ea.Idx < eb.Idx
+		}
+		return ea.key() < eb.key()
+	})
+	bw := bufio.NewWriter(s.w)
+	enc := json.NewEncoder(bw)
+	for i := range s.entries {
+		if err := enc.Encode(&s.entries[i]); err != nil {
+			s.w.Close()
+			s.w = nil
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		s.w.Close()
+		s.w = nil
+		return err
+	}
+	err := s.w.Close()
+	s.w = nil
+	return err
+}
+
+// Recorder is a pass-through Runner that records every execution of an
+// inner backend into a TraceSink under one stream key. It deliberately does
+// NOT advertise a native batch: batches route through the generic pool so
+// every individual run passes through RunAppAt and is captured with its run
+// index — which is also what keeps recorded parallel sessions identical to
+// serial ones on index-deterministic backends.
+type Recorder struct {
+	inner  Runner
+	sink   *TraceSink
+	stream string
+
+	mu        sync.Mutex
+	noiseless map[string]bool // keys already recorded (deterministic, dedup)
+}
+
+// NewRecorder wraps inner, appending entries to sink under stream.
+func NewRecorder(inner Runner, sink *TraceSink, stream string) *Recorder {
+	return &Recorder{inner: inner, sink: sink, stream: stream, noiseless: map[string]bool{}}
+}
+
+// Capabilities inherit the inner backend's determinism but mask its native
+// batch so each run is individually observed.
+func (r *Recorder) Capabilities() Capabilities {
+	caps := CapsOf(r.inner)
+	return Capabilities{
+		Name:          "trace-record(" + caps.Name + ")",
+		NativeBatch:   false,
+		MaxParallel:   caps.MaxParallel,
+		Stoppable:     true,
+		Deterministic: caps.Deterministic,
+	}
+}
+
+// Space returns the inner backend's configuration space.
+func (r *Recorder) Space() *conf.Space { return r.inner.Space() }
+
+// ReserveRuns delegates index accounting to the inner backend.
+func (r *Recorder) ReserveRuns(n int) uint64 { return r.inner.ReserveRuns(n) }
+
+// RunApp claims the next index and records the execution.
+func (r *Recorder) RunApp(app *Application, c conf.Config, dataGB float64) AppResult {
+	return r.RunAppAt(r.inner.ReserveRuns(1), app, c, dataGB)
+}
+
+// RunAppAt executes and records one application run.
+func (r *Recorder) RunAppAt(idx uint64, app *Application, c conf.Config, dataGB float64) AppResult {
+	res := r.inner.RunAppAt(idx, app, c, dataGB)
+	cp := res
+	cp.Queries = append([]QueryResult(nil), res.Queries...)
+	r.sink.add(TraceEntry{
+		Stream: r.stream, Kind: TraceApp, Idx: idx,
+		App: app.Name, NQ: len(app.Queries),
+		Conf: append([]float64(nil), c...), DataGB: dataGB, Result: &cp,
+	})
+	return res
+}
+
+// RunQuery executes and records one single-query run, pinning it to an
+// explicit index when the inner backend supports that.
+func (r *Recorder) RunQuery(q Query, c conf.Config, dataGB float64) QueryResult {
+	var idx uint64
+	var res QueryResult
+	if qr, ok := r.inner.(queryRunner); ok {
+		idx = r.inner.ReserveRuns(1)
+		res = qr.RunQueryAt(idx, q, c, dataGB)
+	} else {
+		res = r.inner.RunQuery(q, c, dataGB)
+	}
+	cp := res
+	r.sink.add(TraceEntry{
+		Stream: r.stream, Kind: TraceQuery, Idx: idx,
+		QueryName: q.Name,
+		Conf:      append([]float64(nil), c...), DataGB: dataGB, QueryRes: &cp,
+	})
+	return res
+}
+
+// NoiselessAppTime evaluates and records the deterministic latency
+// (deduplicated: repeated evaluations of the same point record once).
+func (r *Recorder) NoiselessAppTime(app *Application, c conf.Config, dataGB float64) float64 {
+	sec := r.inner.NoiselessAppTime(app, c, dataGB)
+	e := TraceEntry{
+		Stream: r.stream, Kind: TraceNoiseless,
+		App: app.Name, NQ: len(app.Queries),
+		Conf: append([]float64(nil), c...), DataGB: dataGB, Sec: sec,
+	}
+	k := e.key()
+	r.mu.Lock()
+	seen := r.noiseless[k]
+	r.noiseless[k] = true
+	r.mu.Unlock()
+	if !seen {
+		r.sink.add(e)
+	}
+	return sec
+}
+
+// queryRunner is the narrow interface Recorder needs beyond Runner to pin a
+// single-query run to an explicit index; backends without it fall back to
+// order-dependent recording.
+type queryRunner interface {
+	RunQueryAt(idx uint64, q Query, c conf.Config, dataGB float64) QueryResult
+}
+
+// MissPolicy selects what a Replayer does when a lookup finds no recorded
+// entry for the requested execution.
+type MissPolicy int
+
+const (
+	// MissFail panics with a diagnostic — the fixture contract: a replayed
+	// session diverging from its recording is a determinism bug, and
+	// failing loudly is what pins CI to the committed trajectory.
+	MissFail MissPolicy = iota
+	// MissNearest falls back to the recorded entry of the same kind and
+	// application with the nearest configuration (normalized L2 over the
+	// unit cube, data size folded in) within Tolerance.
+	MissNearest
+)
+
+// ReplayOptions tune a Replayer's lookup.
+type ReplayOptions struct {
+	// Miss selects the miss policy (default MissFail).
+	Miss MissPolicy
+	// Tolerance bounds the nearest-neighbor distance MissNearest accepts
+	// (normalized per-dimension RMS; 0 means unbounded). Ignored under
+	// MissFail.
+	Tolerance float64
+}
+
+// ErrTraceMiss is the panic payload type a MissFail replay raises.
+type ErrTraceMiss struct {
+	Stream string
+	Key    string
+}
+
+// Error describes the missing execution.
+func (e *ErrTraceMiss) Error() string {
+	return fmt.Sprintf("runner: trace replay miss in stream %q: no recorded execution for %s", e.Stream, e.Key)
+}
+
+// replayEntry is one loaded trace entry plus its consumption flag and the
+// configuration pre-encoded onto the unit cube (nearest-neighbor lookups
+// scan all entries; encoding once at load keeps the scan a plain distance
+// loop).
+type replayEntry struct {
+	TraceEntry
+	enc  []float64
+	used bool
+}
+
+// Replayer replays one stream of a recorded trace as a Runner, with the
+// original backend fully detached. Lookup is exact-match first — preferring
+// the entry recorded at the requested run index, then FIFO among equal
+// keys — with an optional nearest-neighbor-within-tolerance fallback for
+// approximate re-tuning against related recordings. Deterministic: the
+// same call sequence always returns the same results.
+type Replayer struct {
+	space  *conf.Space
+	stream string
+	opts   ReplayOptions
+
+	runs atomic.Uint64
+
+	mu      sync.Mutex
+	byKey   map[string][]*replayEntry
+	entries []*replayEntry
+
+	misses atomic.Int64
+}
+
+// NewReplayer loads the entries of stream from r (all of them when the
+// trace holds a single stream and stream is ""). space must be the
+// configuration space the trace was recorded over.
+func NewReplayer(space *conf.Space, r io.Reader, stream string, opts ReplayOptions) (*Replayer, error) {
+	var entries []TraceEntry
+	dec := json.NewDecoder(r)
+	for {
+		var e TraceEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("runner: bad trace entry: %w", err)
+		}
+		entries = append(entries, e)
+	}
+	return NewReplayerFromEntries(space, entries, stream, opts)
+}
+
+// NewReplayerFromEntries builds a replayer over an already-decoded trace —
+// the sharing path a Factory uses so a multi-runner replay decodes the
+// file once. The entries slice is not mutated (per-replayer consumption
+// state lives in private wrappers).
+func NewReplayerFromEntries(space *conf.Space, entries []TraceEntry, stream string, opts ReplayOptions) (*Replayer, error) {
+	rp := &Replayer{space: space, stream: stream, opts: opts, byKey: map[string][]*replayEntry{}}
+	for _, e := range entries {
+		if stream != "" && e.Stream != stream {
+			continue
+		}
+		re := &replayEntry{TraceEntry: e, enc: space.Encode(conf.Config(e.Conf))}
+		rp.entries = append(rp.entries, re)
+		k := e.key()
+		rp.byKey[k] = append(rp.byKey[k], re)
+	}
+	if len(rp.entries) == 0 {
+		return nil, fmt.Errorf("runner: trace holds no entries for stream %q", stream)
+	}
+	return rp, nil
+}
+
+// OpenReplayer loads stream from the trace file at path (".gz" traces are
+// decompressed transparently).
+func OpenReplayer(space *conf.Space, path, stream string, opts ReplayOptions) (*Replayer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, err
+		}
+		defer zr.Close()
+		r = zr
+	}
+	return NewReplayer(space, r, stream, opts)
+}
+
+// Capabilities: replay is deterministic, has no native batch (the generic
+// pool exercises the exact-index lookup), and tolerates any parallelism.
+func (rp *Replayer) Capabilities() Capabilities {
+	return Capabilities{Name: "trace-replay", Stoppable: true, Deterministic: true}
+}
+
+// Space returns the configuration space the trace was recorded over.
+func (rp *Replayer) Space() *conf.Space { return rp.space }
+
+// ReserveRuns claims replay run indices (mirroring the recorder's counter).
+func (rp *Replayer) ReserveRuns(n int) uint64 {
+	if n <= 0 {
+		panic("runner: ReserveRuns of non-positive count")
+	}
+	return rp.runs.Add(uint64(n)) - uint64(n)
+}
+
+// Misses reports how many lookups fell through to the nearest-neighbor
+// fallback — 0 after an exact replay of the recorded session.
+func (rp *Replayer) Misses() int64 { return rp.misses.Load() }
+
+// lookup resolves one execution. Exact key match first (preferring the
+// entry recorded at run index idx, then the first unconsumed in file
+// order); nearest-neighbor within tolerance when allowed; otherwise the
+// miss policy fires.
+func (rp *Replayer) lookup(e *TraceEntry, idx uint64, consume bool) *TraceEntry {
+	k := e.key()
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if cands := rp.byKey[k]; len(cands) > 0 {
+		var pick *replayEntry
+		for _, c := range cands {
+			if !c.used && c.Idx == idx {
+				pick = c
+				break
+			}
+		}
+		if pick == nil {
+			for _, c := range cands {
+				if !c.used {
+					pick = c
+					break
+				}
+			}
+		}
+		if pick == nil && !consume {
+			// Non-consuming lookups (noiseless evaluations) may reuse an
+			// already-served deterministic entry.
+			pick = cands[0]
+		}
+		if pick != nil {
+			if consume {
+				pick.used = true
+			}
+			return &pick.TraceEntry
+		}
+	}
+	if rp.opts.Miss == MissNearest {
+		if pick := rp.nearestLocked(e); pick != nil {
+			rp.misses.Add(1)
+			return pick
+		}
+	}
+	panic(&ErrTraceMiss{Stream: rp.stream, Key: k})
+}
+
+// nearestLocked scans for the closest same-kind, same-application entry.
+func (rp *Replayer) nearestLocked(e *TraceEntry) *TraceEntry {
+	want := rp.space.Encode(conf.Config(e.Conf))
+	bestD := math.Inf(1)
+	var best *replayEntry
+	for _, c := range rp.entries {
+		if c.Kind != e.Kind || c.App != e.App || c.NQ != e.NQ || c.QueryName != e.QueryName {
+			continue
+		}
+		have := c.enc
+		var d float64
+		for i := range want {
+			diff := want[i] - have[i]
+			d += diff * diff
+		}
+		// Fold the data-size mismatch in on the same normalized scale.
+		if e.DataGB > 0 || c.DataGB > 0 {
+			rel := (e.DataGB - c.DataGB) / math.Max(e.DataGB, c.DataGB)
+			d += rel * rel
+		}
+		d = math.Sqrt(d / float64(len(want)+1))
+		if d < bestD {
+			bestD = d
+			best = c
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	if rp.opts.Tolerance > 0 && bestD > rp.opts.Tolerance {
+		return nil
+	}
+	return &best.TraceEntry
+}
+
+// RunApp replays the next application execution.
+func (rp *Replayer) RunApp(app *Application, c conf.Config, dataGB float64) AppResult {
+	return rp.RunAppAt(rp.ReserveRuns(1), app, c, dataGB)
+}
+
+// RunAppAt replays the application execution recorded for (app, c, dataGB),
+// preferring the entry recorded at run index idx.
+func (rp *Replayer) RunAppAt(idx uint64, app *Application, c conf.Config, dataGB float64) AppResult {
+	q := TraceEntry{Kind: TraceApp, App: app.Name, NQ: len(app.Queries), Conf: c, DataGB: dataGB}
+	hit := rp.lookup(&q, idx, true)
+	if hit.Result == nil {
+		// A key-matched entry without its payload is a corrupted fixture;
+		// serving a phantom zero-second run would silently poison the
+		// replayed session.
+		panic(&ErrTraceMiss{Stream: rp.stream, Key: q.key() + " (entry has no result payload)"})
+	}
+	res := *hit.Result
+	res.Queries = append([]QueryResult(nil), hit.Result.Queries...)
+	return res
+}
+
+// RunQuery replays one single-query execution.
+func (rp *Replayer) RunQuery(q Query, c conf.Config, dataGB float64) QueryResult {
+	idx := rp.ReserveRuns(1)
+	e := TraceEntry{Kind: TraceQuery, QueryName: q.Name, Conf: c, DataGB: dataGB}
+	hit := rp.lookup(&e, idx, true)
+	if hit.QueryRes == nil {
+		panic(&ErrTraceMiss{Stream: rp.stream, Key: e.key() + " (entry has no query payload)"})
+	}
+	return *hit.QueryRes
+}
+
+// NoiselessAppTime replays the recorded deterministic latency. The lookup
+// does not consume: noiseless evaluations are pure and may repeat.
+func (rp *Replayer) NoiselessAppTime(app *Application, c conf.Config, dataGB float64) float64 {
+	q := TraceEntry{Kind: TraceNoiseless, App: app.Name, NQ: len(app.Queries), Conf: c, DataGB: dataGB}
+	return rp.lookup(&q, 0, false).Sec
+}
+
+var (
+	_ Runner   = (*Recorder)(nil)
+	_ Runner   = (*Replayer)(nil)
+	_ Reporter = (*Recorder)(nil)
+	_ Reporter = (*Replayer)(nil)
+)

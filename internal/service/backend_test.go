@@ -1,0 +1,71 @@
+package service
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// A bad backend spec must be rejected at submission, not when the job runs.
+func TestSubmitRejectsBadBackendSpec(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	spec := quickSpec(100, 1)
+	spec.Backend = "bogus"
+	if _, err := s.Submit(spec); err == nil {
+		t.Fatal("bad backend spec accepted")
+	}
+}
+
+// A job-level record backend must capture the session into a trace that a
+// replay-backed service reproduces exactly — jobs keyed by their IDs.
+func TestServiceJobBackendRecordReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "svc.trace")
+
+	runOnce := func(backend string) *JobResult {
+		s := New(Config{Workers: 1})
+		spec := quickSpec(100, 3)
+		spec.Backend = backend
+		id, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Result(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Close() // flushes the record sink
+		return res
+	}
+
+	want := runOnce("record=" + path)
+	got := runOnce("replay=" + path)
+	if !reflect.DeepEqual(want.BestConfig, got.BestConfig) {
+		t.Fatal("replayed job selected a different configuration")
+	}
+	if want.TunedSec != got.TunedSec || want.OverheadSec != got.OverheadSec {
+		t.Fatalf("replayed job cost (%.4f, %.4f), recorded (%.4f, %.4f)",
+			got.TunedSec, got.OverheadSec, want.TunedSec, want.OverheadSec)
+	}
+
+	// A replay job that diverges from the trace (different seed → different
+	// sampling trajectory) must fail its job, not crash the service.
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	spec := quickSpec(100, 4) // seed mismatch vs the recording
+	spec.Backend = "replay=" + path
+	id, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Result(id); err == nil {
+		t.Fatal("diverging replay job succeeded")
+	}
+	st, err := s.Status(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateFailed {
+		t.Fatalf("diverging replay job state %s, want failed", st.State)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"locat/internal/core"
 	"locat/internal/dagp"
 	"locat/internal/progress"
+	"locat/internal/runner"
 	"locat/internal/sparksim"
 	"locat/internal/workloads"
 )
@@ -39,6 +40,10 @@ type JobSpec struct {
 	// ColdStart opts this job out of history retrieval: it runs the full
 	// sampling pipeline even when similar past sessions exist.
 	ColdStart bool `json:"cold_start,omitempty"`
+	// Backend overrides the service's execution backend for this job (an
+	// internal/runner spec: "sim", "record=PATH", "replay=PATH", or
+	// "sparkrest=URL"). Empty uses the service default.
+	Backend string `json:"backend,omitempty"`
 }
 
 func (s *JobSpec) normalize() error {
@@ -62,6 +67,9 @@ func (s *JobSpec) normalize() error {
 	}
 	if s.Seed == 0 {
 		s.Seed = 1
+	}
+	if _, err := runner.ParseSpec(s.Backend); err != nil {
+		return err
 	}
 	return nil
 }
@@ -164,6 +172,12 @@ type Config struct {
 	// session (default 48), keeping the GP fitting cost bounded no matter
 	// how much history accumulates.
 	MaxPriorObs int
+	// Backend is the default execution backend of tuning sessions (an
+	// internal/runner spec; empty selects the simulator). Jobs may override
+	// it per submission. Record-mode backends share one trace sink across
+	// all jobs, keyed by job ID, so a whole service run lands in one file;
+	// replaying it requires re-submitting the same job sequence.
+	Backend string
 	// Logf, if non-nil, receives service and per-job progress lines.
 	Logf progress.Logf
 }
@@ -176,11 +190,12 @@ type Service struct {
 	cfg   Config
 	store Store
 
-	mu     sync.Mutex
-	jobs   map[string]*job
-	order  []string
-	seq    int
-	closed bool
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []string
+	seq       int
+	closed    bool
+	factories map[string]*runner.Factory
 
 	queue chan *job
 	wg    sync.WaitGroup
@@ -201,10 +216,11 @@ func New(cfg Config) *Service {
 		cfg.MaxPriorObs = 48
 	}
 	s := &Service{
-		cfg:   cfg,
-		store: cfg.Store,
-		jobs:  map[string]*job{},
-		queue: make(chan *job, cfg.QueueCap),
+		cfg:       cfg,
+		store:     cfg.Store,
+		jobs:      map[string]*job{},
+		factories: map[string]*runner.Factory{},
+		queue:     make(chan *job, cfg.QueueCap),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -217,6 +233,25 @@ func New(cfg Config) *Service {
 func (s *Service) Store() Store { return s.store }
 
 func (s *Service) logf(format string, args ...any) { progress.F(s.cfg.Logf, format, args...) }
+
+// factory returns the (cached) backend factory for a spec, so record-mode
+// backends share one trace sink across jobs.
+func (s *Service) factory(spec string) (*runner.Factory, error) {
+	if spec == "" {
+		spec = s.cfg.Backend
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.factories[spec]; ok {
+		return f, nil
+	}
+	f, err := runner.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	s.factories[spec] = f
+	return f, nil
+}
 
 // Submit validates and enqueues a job, returning its ID immediately.
 func (s *Service) Submit(spec JobSpec) (string, error) {
@@ -384,6 +419,17 @@ func (s *Service) Close() {
 		close(j.done)
 	}
 	s.wg.Wait()
+	// Flush backend factories (trace sinks of recording backends) once no
+	// session can execute anymore.
+	s.mu.Lock()
+	factories := s.factories
+	s.factories = map[string]*runner.Factory{}
+	s.mu.Unlock()
+	for spec, f := range factories {
+		if err := f.Close(); err != nil {
+			s.logf("backend %q close failed: %v", spec, err)
+		}
+	}
 }
 
 func (s *Service) worker() {
@@ -398,7 +444,7 @@ func (s *Service) worker() {
 		j.state = StateRunning
 		j.started = time.Now()
 		s.mu.Unlock()
-		res, err := s.runJob(j)
+		res, err := s.runJobSafe(j)
 		switch {
 		case errors.Is(err, core.ErrStopped):
 			s.finish(j, StateCancelled, nil, nil)
@@ -433,6 +479,18 @@ func (s *Service) finish(j *job, st State, res *JobResult, err error) {
 	}
 }
 
+// runJobSafe contains session panics: an execution backend may fail hard
+// mid-run (a trace replay that misses under MissFail panics by contract),
+// and one poisoned job must not take the whole service down.
+func (s *Service) runJobSafe(j *job) (res *JobResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("service: job aborted: %v", r)
+		}
+	}()
+	return s.runJob(j)
+}
+
 // runJob executes one tuning session: retrieve a prior from the history
 // store, run the core pipeline, persist the outcome.
 func (s *Service) runJob(j *job) (*JobResult, error) {
@@ -442,8 +500,18 @@ func (s *Service) runJob(j *job) (*JobResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	sim := sparksim.New(cl, spec.Seed)
-	space := sim.Space()
+	f, err := s.factory(spec.Backend)
+	if err != nil {
+		return nil, err
+	}
+	// The stream key is the job ID: deterministic for a deterministic
+	// submission sequence, which is what record/replay of a whole service
+	// run requires.
+	run, err := f.New(cl, spec.Seed, j.id)
+	if err != nil {
+		return nil, err
+	}
+	space := run.Space()
 
 	opts := core.DefaultOptions()
 	opts.Seed = spec.Seed
@@ -470,16 +538,19 @@ func (s *Service) runJob(j *job) (*JobResult, error) {
 		}
 	}
 
-	rep, err := core.New(sim, app, opts).Tune(spec.DataSizeGB)
+	rep, err := core.New(run, app, opts).Tune(spec.DataSizeGB)
 	if err != nil {
 		return nil, err
+	}
+	if err := runner.BackendErr(run); err != nil {
+		return nil, fmt.Errorf("service: execution backend failed: %w", err)
 	}
 
 	res := &JobResult{
 		BestConfig:   rep.Best.Clone(),
 		BestParams:   paramsToMap(rep.Best),
 		TunedSec:     rep.TunedSec,
-		DefaultSec:   sim.NoiselessAppTime(app, space.Default(), spec.DataSizeGB),
+		DefaultSec:   run.NoiselessAppTime(app, space.Default(), spec.DataSizeGB),
 		OverheadSec:  rep.OverheadSec,
 		SamplingSec:  rep.SamplingSec,
 		SearchSec:    rep.SearchSec,

@@ -42,6 +42,7 @@ import (
 	"locat/internal/conf"
 	"locat/internal/core"
 	"locat/internal/progress"
+	"locat/internal/runner"
 	"locat/internal/sparksim"
 	"locat/internal/workloads"
 )
@@ -75,13 +76,26 @@ type Options struct {
 	// reports phase transitions, sample counts and the stop condition on
 	// stderr; Quiet silences all of it.
 	Quiet bool
-	// Parallelism bounds the simulated cluster slots used to execute
+	// Parallelism bounds the concurrent execution slots used for
 	// independent sample-collection runs (phase-1 LHS samples, warm-start
-	// anchors) concurrently. 0 uses all CPU cores, 1 runs serially. The
-	// result is identical for every setting — the simulator derives each
-	// run's noise from its run index, not from execution order — so this
-	// only trades wall-clock time for CPU.
+	// anchors). 0 uses all CPU cores, 1 runs serially. On the simulator the
+	// result is identical for every setting — each run's noise derives from
+	// its run index, not from execution order — so this only trades
+	// wall-clock time for CPU.
 	Parallelism int
+	// Backend selects the execution backend (see internal/runner):
+	//
+	//	""  or "sim"               the analytical cluster simulator
+	//	"record=PATH"              simulator + trace recording to PATH
+	//	"replay=PATH[,miss=nearest[,tol=T]]"
+	//	                           deterministic replay of a recorded trace,
+	//	                           with the simulator fully detached
+	//	"sparkrest=URL"            spark-submit/REST gateway submissions
+	//
+	// Replaying a recorded session reproduces its chosen configuration and
+	// cost exactly; a replay that requests an execution absent from the
+	// trace fails hard under the default miss policy.
+	Backend string
 }
 
 // Result is the outcome of a tuning session.
@@ -178,7 +192,18 @@ func Tune(o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	sim := sparksim.New(cl, o.Seed)
+	factory, err := runner.ParseSpec(o.Backend)
+	if err != nil {
+		return nil, err
+	}
+	// Close is idempotent; the deferred call covers error paths so a
+	// recording backend never leaks its sink, while the explicit Close
+	// below surfaces flush errors on success.
+	defer factory.Close()
+	run, err := factory.New(cl, o.Seed, "tune")
+	if err != nil {
+		return nil, err
+	}
 
 	opts := core.DefaultOptions()
 	opts.Seed = o.Seed
@@ -201,16 +226,19 @@ func Tune(o Options) (*Result, error) {
 	}
 
 	start := time.Now()
-	rep, err := core.New(sim, app, opts).Tune(o.DataSizeGB)
+	rep, err := core.New(run, app, opts).Tune(o.DataSizeGB)
 	if err != nil {
 		return nil, err
+	}
+	if err := runner.BackendErr(run); err != nil {
+		return nil, fmt.Errorf("locat: execution backend failed: %w", err)
 	}
 
 	res := &Result{
 		best:            rep.Best,
 		BestParams:      paramsToMap(rep.Best),
 		TunedSeconds:    rep.TunedSec,
-		DefaultSeconds:  sim.NoiselessAppTime(app, cl.Space().Default(), o.DataSizeGB),
+		DefaultSeconds:  run.NoiselessAppTime(app, cl.Space().Default(), o.DataSizeGB),
 		OverheadSeconds: rep.OverheadSec,
 		SamplingSeconds: rep.SamplingSec,
 		SearchSeconds:   rep.SearchSec,
@@ -226,6 +254,9 @@ func Tune(o Options) (*Result, error) {
 		for _, j := range rep.IICP.Important {
 			res.ImportantParams = append(res.ImportantParams, params[j].Name)
 		}
+	}
+	if err := factory.Close(); err != nil {
+		return nil, fmt.Errorf("locat: closing backend: %w", err)
 	}
 	return res, nil
 }
@@ -255,12 +286,23 @@ func CompareBaselines(o Options) ([]BaselineResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	factory, err := runner.ParseSpec(o.Backend)
+	if err != nil {
+		return nil, err
+	}
+	defer factory.Close()
 	var out []BaselineResult
 	for _, bt := range baselines.All() {
-		sim := sparksim.New(cl, o.Seed)
-		rep, err := bt.Tune(sim, app, o.DataSizeGB, o.Seed+7)
+		run, err := factory.New(cl, o.Seed, "baseline/"+bt.Name())
 		if err != nil {
 			return nil, err
+		}
+		rep, err := bt.Tune(run, app, o.DataSizeGB, o.Seed+7)
+		if err != nil {
+			return nil, err
+		}
+		if err := runner.BackendErr(run); err != nil {
+			return nil, fmt.Errorf("locat: execution backend failed: %w", err)
 		}
 		out = append(out, BaselineResult{
 			Tuner:           rep.Tuner,
@@ -268,6 +310,9 @@ func CompareBaselines(o Options) ([]BaselineResult, error) {
 			OverheadSeconds: rep.OverheadSec,
 			Runs:            rep.Runs,
 		})
+	}
+	if err := factory.Close(); err != nil {
+		return nil, fmt.Errorf("locat: closing backend: %w", err)
 	}
 	return out, nil
 }

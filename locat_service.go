@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"locat/internal/progress"
+	"locat/internal/runner"
 	"locat/internal/service"
 )
 
@@ -23,6 +24,11 @@ type ServiceOptions struct {
 	QueueCap int
 	// Quiet suppresses the service's progress log on stderr.
 	Quiet bool
+	// Backend is the default execution backend of tuning sessions (an
+	// internal/runner spec: "sim", "record=PATH", "replay=PATH", or
+	// "sparkrest=URL"; empty selects the simulator). Individual jobs may
+	// override it via Options.Backend.
+	Backend string
 }
 
 // JobState is a job's lifecycle position: "queued", "running", "succeeded",
@@ -67,7 +73,10 @@ type Service struct {
 
 // NewService starts a tuning service.
 func NewService(o ServiceOptions) (*Service, error) {
-	cfg := service.Config{Workers: o.Workers, QueueCap: o.QueueCap}
+	if _, err := runner.ParseSpec(o.Backend); err != nil {
+		return nil, err
+	}
+	cfg := service.Config{Workers: o.Workers, QueueCap: o.QueueCap, Backend: o.Backend}
 	if o.HistoryDir != "" {
 		fs, err := service.NewFileStore(o.HistoryDir)
 		if err != nil {
@@ -97,6 +106,7 @@ func specOf(o Options) (service.JobSpec, error) {
 		DisableQCSA:   o.DisableQCSA,
 		DisableIICP:   o.DisableIICP,
 		DisableDAGP:   o.DisableDAGP,
+		Backend:       o.Backend,
 	}, nil
 }
 

@@ -1,0 +1,224 @@
+package locat_test
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+
+	"locat"
+)
+
+// The committed fixtures under testdata/ pin two end-to-end trajectories:
+// a quick TPC-H tuning session and a two-job warm-start service run. The
+// tests replay them with the simulator fully detached (Backend
+// "replay=…"), so they are hermetic: any divergence between the committed
+// trace, the committed expectations and the current code fails loudly —
+// either as an expectation mismatch here or as a trace-miss panic inside
+// the replayer.
+//
+// Regenerate after an intentional behavior change with:
+//
+//	LOCAT_REGEN=1 go test -run TestCommittedTrace ./...
+const (
+	tuneTrace    = "testdata/tpch-quick.trace.gz"
+	tuneExpected = "testdata/tpch-quick.expected.json"
+	svcTrace     = "testdata/warmstart-service.trace.gz"
+	svcExpected  = "testdata/warmstart-service.expected.json"
+)
+
+func regen() bool { return os.Getenv("LOCAT_REGEN") != "" }
+
+// quickTuneOptions are the pinned session parameters of the tune fixture.
+func quickTuneOptions(backend string) locat.Options {
+	return locat.Options{
+		Benchmark:     "TPC-H",
+		DataSizeGB:    100,
+		Seed:          1,
+		NQCSA:         10,
+		NIICP:         8,
+		MaxIterations: 8,
+		Quiet:         true,
+		Backend:       backend,
+	}
+}
+
+// tuneExpectation is the committed outcome of the tune fixture.
+type tuneExpectation struct {
+	BestParams  map[string]float64 `json:"best_params"`
+	TunedSec    float64            `json:"tuned_sec"`
+	DefaultSec  float64            `json:"default_sec"`
+	OverheadSec float64            `json:"overhead_sec"`
+	Runs        int                `json:"runs"`
+}
+
+func writeJSON(t *testing.T, path string, v any) {
+	t.Helper()
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readJSON(t *testing.T, path string, v any) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate fixtures with LOCAT_REGEN=1 go test -run TestCommittedTrace ./...)", err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// close enough for JSON round-tripped float64s.
+func feq(a, b float64) bool { return math.Abs(a-b) <= 1e-9*math.Max(1, math.Abs(a)+math.Abs(b)) }
+
+// TestCommittedTraceReplayTune replays the committed tuning-session trace
+// and pins the selected configuration and costs.
+func TestCommittedTraceReplayTune(t *testing.T) {
+	if regen() {
+		res, err := locat.Tune(quickTuneOptions("record=" + tuneTrace))
+		if err != nil {
+			t.Fatal(err)
+		}
+		writeJSON(t, tuneExpected, tuneExpectation{
+			BestParams:  res.BestParams,
+			TunedSec:    res.TunedSeconds,
+			DefaultSec:  res.DefaultSeconds,
+			OverheadSec: res.OverheadSeconds,
+			Runs:        res.Runs,
+		})
+		t.Logf("regenerated %s and %s", tuneTrace, tuneExpected)
+	}
+
+	var want tuneExpectation
+	readJSON(t, tuneExpected, &want)
+	res, err := locat.Tune(quickTuneOptions("replay=" + tuneTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BestParams) != len(want.BestParams) {
+		t.Fatalf("replay selected %d params, want %d", len(res.BestParams), len(want.BestParams))
+	}
+	for name, v := range want.BestParams {
+		if got, ok := res.BestParams[name]; !ok || !feq(got, v) {
+			t.Fatalf("replay selected %s=%v, committed expectation %v", name, res.BestParams[name], v)
+		}
+	}
+	if !feq(res.TunedSeconds, want.TunedSec) {
+		t.Fatalf("replay tuned cost %.6f, committed %.6f", res.TunedSeconds, want.TunedSec)
+	}
+	if !feq(res.DefaultSeconds, want.DefaultSec) {
+		t.Fatalf("replay default cost %.6f, committed %.6f", res.DefaultSeconds, want.DefaultSec)
+	}
+	if !feq(res.OverheadSeconds, want.OverheadSec) {
+		t.Fatalf("replay overhead %.6f, committed %.6f", res.OverheadSeconds, want.OverheadSec)
+	}
+	if res.Runs != want.Runs {
+		t.Fatalf("replay executed %d runs, committed %d", res.Runs, want.Runs)
+	}
+}
+
+// svcExpectation pins the warm-start service fixture: two sequential jobs,
+// the second warm-started from the first via the history store.
+type svcExpectation struct {
+	Jobs []svcJob `json:"jobs"`
+}
+
+type svcJob struct {
+	DataSizeGB  float64            `json:"data_size_gb"`
+	Seed        int64              `json:"seed"`
+	WarmStarted bool               `json:"warm_started"`
+	BestParams  map[string]float64 `json:"best_params"`
+	TunedSec    float64            `json:"tuned_sec"`
+	OverheadSec float64            `json:"overhead_sec"`
+}
+
+// runServiceFixture executes the pinned two-job sequence on the backend.
+func runServiceFixture(t *testing.T, backend string) []svcJob {
+	t.Helper()
+	svc, err := locat.NewService(locat.ServiceOptions{Workers: 1, Quiet: true, Backend: backend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	var out []svcJob
+	for _, job := range []struct {
+		gb   float64
+		seed int64
+	}{{100, 1}, {140, 2}} {
+		id, err := svc.Submit(locat.Options{
+			Benchmark:     "TPC-H",
+			DataSizeGB:    job.gb,
+			Seed:          job.seed,
+			NQCSA:         10,
+			NIICP:         8,
+			MaxIterations: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := svc.Result(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, svcJob{
+			DataSizeGB:  job.gb,
+			Seed:        job.seed,
+			WarmStarted: res.WarmStarted,
+			BestParams:  res.BestParams,
+			TunedSec:    res.TunedSeconds,
+			OverheadSec: res.OverheadSeconds,
+		})
+	}
+	return out
+}
+
+// TestCommittedTraceReplayService replays the committed warm-start service
+// trace: the cold job repopulates the history store, the second job
+// warm-starts from it, and both selections are pinned.
+func TestCommittedTraceReplayService(t *testing.T) {
+	if regen() {
+		jobs := runServiceFixture(t, "record="+svcTrace)
+		writeJSON(t, svcExpected, svcExpectation{Jobs: jobs})
+		t.Logf("regenerated %s and %s", svcTrace, svcExpected)
+	}
+
+	var want svcExpectation
+	readJSON(t, svcExpected, &want)
+	got := runServiceFixture(t, "replay="+svcTrace)
+	if len(got) != len(want.Jobs) {
+		t.Fatalf("ran %d jobs, committed %d", len(got), len(want.Jobs))
+	}
+	for i, w := range want.Jobs {
+		g := got[i]
+		if g.WarmStarted != w.WarmStarted {
+			t.Fatalf("job %d warm=%v, committed %v", i, g.WarmStarted, w.WarmStarted)
+		}
+		for name, v := range w.BestParams {
+			if gv, ok := g.BestParams[name]; !ok || !feq(gv, v) {
+				t.Fatalf("job %d selected %s=%v, committed %v", i, name, g.BestParams[name], v)
+			}
+		}
+		if !feq(g.TunedSec, w.TunedSec) || !feq(g.OverheadSec, w.OverheadSec) {
+			t.Fatalf("job %d cost (%.4f, %.4f), committed (%.4f, %.4f)",
+				i, g.TunedSec, g.OverheadSec, w.TunedSec, w.OverheadSec)
+		}
+	}
+	if len(got) > 1 && !got[1].WarmStarted {
+		t.Fatal("second job did not warm-start")
+	}
+}
+
+// A sparkrest backend whose gateway is unreachable must fail the session
+// instead of reporting a zero-latency "result" built from failed runs.
+func TestSparkRestBackendFailureFailsSession(t *testing.T) {
+	o := quickTuneOptions("sparkrest=http://127.0.0.1:1")
+	if _, err := locat.Tune(o); err == nil {
+		t.Fatal("session against a dead gateway succeeded")
+	}
+}

@@ -24,6 +24,12 @@
 // regenerate figures hermetically from a recorded trace, "sparkrest=URL"
 // to drive a live gateway.
 //
+// Profiling (-cpuprofile / -memprofile) writes pprof output covering the
+// experiment runs, so a perf change can ship with before/after profiles:
+//
+//	locat-bench -fig fig11 -quick -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof -top cpu.out
+//
 // Each experiment prints the same rows/series the corresponding paper
 // figure reports; EXPERIMENTS.md documents the harness, the perf-report
 // schema and the CI gates.
@@ -35,6 +41,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -85,9 +93,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 		baseline   = fs.String("baseline", "", "compare the report against this baseline file; exit 3 on regression")
 		maxRegress = fs.Float64("max-regress", 0.20, "maximum allowed fractional regression vs the baseline")
 		gateWall   = fs.Bool("gate-wall", false, "also gate wall time (off by default: machine-dependent)")
+		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the experiment runs to this file")
+		memProfile = fs.String("memprofile", "", "write a pprof heap profile (after the runs) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	// Profiling brackets the experiment runs only — flag parsing and report
+	// plumbing would just be noise in the profile.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(stderr, "locat-bench:", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "locat-bench:", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(stderr, "locat-bench:", err)
+			return 2
+		}
+		defer func() {
+			// Up-to-date allocation stats before the snapshot.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "locat-bench: writing heap profile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	if *list {

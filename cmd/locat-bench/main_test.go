@@ -173,3 +173,28 @@ func TestCompareMissingExperiments(t *testing.T) {
 		t.Fatalf("single-fig run flagged missing experiments: %v, %v", regs, err)
 	}
 }
+
+// -cpuprofile / -memprofile must write non-empty pprof files covering the
+// experiment runs, so perf PRs can attach before/after profiles.
+func TestProfileFlagsWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-fig", "fig20", "-quick", "-cpuprofile", cpu, "-memprofile", mem}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
+		}
+	}
+	// An unwritable profile path must fail up front, not after the runs.
+	if code := run([]string{"-fig", "fig20", "-quick", "-cpuprofile", filepath.Join(dir, "no", "such", "dir.out")}, &out, &errb); code != 2 {
+		t.Fatalf("unwritable -cpuprofile exited %d, want 2", code)
+	}
+}

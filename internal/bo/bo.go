@@ -83,6 +83,12 @@ type Options struct {
 	// (gp.Append) instead of the O(n³) refit a resample pays, so values
 	// above 1 make the per-iteration surrogate cost quadratic.
 	HyperEvery int
+	// Workers bounds the goroutines used for the optimizer's internal math —
+	// today that is the hyperparameter resample, which runs its MCMC chains
+	// on a worker pool over one shared distance cache (gp.TrainSet). 0
+	// selects GOMAXPROCS, 1 runs serially. Results are bit-identical for
+	// every worker count; the knob only changes wall-clock time.
+	Workers int
 	// Stop, if non-nil, is polled before every evaluation; returning true
 	// aborts the loop immediately (the partial Result is still valid).
 	// LOCAT's tuning service uses it for cooperative job cancellation.
@@ -220,13 +226,18 @@ func Minimize(p Problem, opts Options) Result {
 	iterSinceSample := 0
 	for res.Evals < opts.MaxIter && !stopped() {
 		if len(models) == 0 || opts.HyperEvery <= 1 || iterSinceSample >= opts.HyperEvery {
+			// Hyperparameter resample. The distance cache is built once and
+			// shared by every MCMC chain (each slice step is then an
+			// allocation-free refit in a per-chain workspace) and by the
+			// per-sample model fits that follow.
 			xs, ys = modelData(trimHistory(res.History, opts.MaxModelPoints))
-			hypers := gp.SampleHyper(xs, ys, opts.MCMCSamples, rng)
 			iterSinceSample = 0
 			models = models[:0]
-			for _, h := range hypers {
-				if m, err := gp.Fit(xs, ys, h); err == nil {
-					models = append(models, m)
+			if ts, err := gp.NewTrainSet(xs, ys, opts.Workers); err == nil {
+				for _, h := range ts.SampleHyper(opts.MCMCSamples, rng, opts.Workers) {
+					if m, err := ts.Fit(h); err == nil {
+						models = append(models, m)
+					}
 				}
 			}
 			modelMark = len(res.History)
@@ -318,10 +329,12 @@ func modelData(hist []Step) (xs [][]float64, ys []float64) {
 // proposeEI scores a candidate pool by EI averaged over the hyperparameter
 // posterior samples (EI-MCMC) and returns the best candidate and its EI.
 func proposeEI(models []*gp.GP, res Result, dim int, ctx []float64, opts Options, rng *rand.Rand, ws *gp.PredictWorkspace) ([]float64, float64) {
+	// The exploration pool is stratified (Latin Hypercube) rather than iid
+	// uniform: every dimension's range is covered evenly at identical cost
+	// and rng discipline, so the EI argmax never misses a whole stratum the
+	// way an unlucky uniform draw can.
 	cands := make([][]float64, 0, opts.Candidates+64)
-	for i := 0; i < opts.Candidates; i++ {
-		cands = append(cands, randomPoint(dim, rng))
-	}
+	cands = append(cands, stat.LatinHypercube(opts.Candidates, dim, rng)...)
 	// Local refinement around the incumbent.
 	if res.BestX != nil {
 		for i := 0; i < 64; i++ {
@@ -378,8 +391,14 @@ func scoreEI(models []*gp.GP, cands [][]float64, dim int, ctx []float64, best fl
 }
 
 // expectedImprovement is EI(x) = (f* - μ)Φ(z) + σφ(z), z = (f* - μ)/σ, for
-// minimization, from a predicted posterior mean and variance.
+// minimization, from a predicted posterior mean and variance. A tiny
+// negative variance — floating-point cancellation in a predictive-variance
+// subtraction — must clamp to zero here: math.Sqrt would turn it into a NaN
+// that skips the sigma guard below and poisons the whole EI average.
 func expectedImprovement(mu, v, best float64) float64 {
+	if v < 0 {
+		v = 0
+	}
 	sigma := math.Sqrt(v)
 	if sigma < 1e-12 {
 		if mu < best {

@@ -123,13 +123,15 @@ type Options struct {
 	// warm-started session still executes (default 4). They ground the
 	// surrogate in the session's current cluster conditions.
 	WarmFreshRuns int
-	// Workers bounds the simulated cluster slots used to execute independent
-	// sample-collection runs concurrently: the phase-1 LHS block of a cold
-	// session and the anchor runs of a warm one. 0 selects GOMAXPROCS,
-	// 1 runs serially. The simulator gives every run index its own noise
-	// stream and the batch reduction is index-ordered, so the history — and
-	// therefore the whole tuning trajectory — is identical for every worker
-	// count; the knob only changes wall-clock time.
+	// Workers bounds the goroutines used for the session's parallel work:
+	// the simulated cluster slots that execute independent sample-collection
+	// runs concurrently (the phase-1 LHS block of a cold session, the anchor
+	// runs of a warm one) and the MCMC chains of every GP hyperparameter
+	// resample (bo.Options.Workers / dagp.FitWorkers). 0 selects GOMAXPROCS,
+	// 1 runs serially. Per-run noise streams, index-ordered batch reductions
+	// and per-chain rng streams make the history — and therefore the whole
+	// tuning trajectory — identical for every worker count; the knob only
+	// changes wall-clock time.
 	Workers int
 	// Stop, if non-nil, is polled between evaluations; returning true
 	// aborts the session and Tune returns ErrStopped. The tuning service
@@ -364,6 +366,7 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 			MCMCSamples: t.opts.MCMCSamples,
 			HyperEvery:  t.opts.HyperEvery,
 			Candidates:  400,
+			Workers:     t.opts.Workers,
 			Seed:        t.opts.Seed,
 			Stop:        t.opts.Stop,
 			EvalBatch: func(xs, ctxs [][]float64) []float64 {
@@ -567,6 +570,7 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 		MCMCSamples: t.opts.MCMCSamples,
 		HyperEvery:  t.opts.HyperEvery,
 		Candidates:  800,
+		Workers:     t.opts.Workers,
 		Init:        init,
 		Seed:        t.opts.Seed + 1,
 		Stop:        t.opts.Stop,
@@ -595,8 +599,10 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 // number of leading steps that came from a warm-start prior: when positive,
 // hyperparameters are inferred on that prior alone and the session's own
 // runs arrive as a batch append (dagp.FitTransfer), so the MCMC's repeated
-// cubic refits do not grow with the session length.
-func dagpRank(hist []bo.Step, warmN int, targetGB float64, seed int64) (best []float64, ok bool) {
+// cubic refits do not grow with the session length. workers bounds the
+// inference parallelism (Options.Workers; results are identical for every
+// worker count).
+func dagpRank(hist []bo.Step, warmN int, targetGB float64, seed int64, workers int) (best []float64, ok bool) {
 	rng := rand.New(rand.NewSource(seed))
 	var ds []dagp.Sample
 	for _, s := range hist {
@@ -609,9 +615,9 @@ func dagpRank(hist []bo.Step, warmN int, targetGB float64, seed int64) (best []f
 	var model *dagp.Model
 	var err error
 	if warmN > 0 && warmN < len(ds) {
-		model, err = dagp.FitTransfer(ds[:warmN], ds[warmN:], rng)
+		model, err = dagp.FitTransferWorkers(ds[:warmN], ds[warmN:], rng, workers)
 	} else {
-		model, err = dagp.Fit(ds, rng)
+		model, err = dagp.FitWorkers(ds, rng, workers)
 	}
 	if err != nil {
 		return nil, false
@@ -643,7 +649,7 @@ func (t *Tuner) pickBest(sub *conf.Subspace, res bo.Result, warmN int, targetGB 
 	if !t.opts.UseDAGP {
 		return sub.Decode(res.BestX)
 	}
-	if x, ok := dagpRank(res.History, warmN, targetGB, t.opts.Seed+2); ok {
+	if x, ok := dagpRank(res.History, warmN, targetGB, t.opts.Seed+2, t.opts.Workers); ok {
 		return sub.Decode(x)
 	}
 	return sub.Decode(res.BestX)
@@ -656,7 +662,7 @@ func (t *Tuner) bestOfHistory(res bo.Result, warmN int, targetGB float64) []floa
 	if !t.opts.UseDAGP {
 		return res.BestX
 	}
-	if x, ok := dagpRank(res.History, warmN, targetGB, t.opts.Seed+3); ok {
+	if x, ok := dagpRank(res.History, warmN, targetGB, t.opts.Seed+3, t.opts.Workers); ok {
 		return x
 	}
 	return res.BestX

@@ -61,17 +61,29 @@ func encode(samples []Sample) (xs [][]float64, ys []float64) {
 
 // Fit trains the DAGP on the samples, marginalizing hyperparameters by
 // picking the posterior sample with the highest marginal likelihood from a
-// short MCMC run.
+// short MCMC run. Equivalent to FitWorkers with the default worker budget.
 func Fit(samples []Sample, rng *rand.Rand) (*Model, error) {
+	return FitWorkers(samples, rng, 0)
+}
+
+// FitWorkers is Fit with an explicit bound on the goroutines used for
+// hyperparameter inference: the MCMC chains run on a worker pool over one
+// shared distance cache (gp.TrainSet), which the candidate model fits then
+// reuse. 0 selects GOMAXPROCS, 1 runs serially; the fitted model is
+// identical for every worker count.
+func FitWorkers(samples []Sample, rng *rand.Rand, workers int) (*Model, error) {
 	if len(samples) < 2 {
 		return nil, errors.New("dagp: need at least 2 samples")
 	}
 	xs, ys := encode(samples)
-	hypers := gp.SampleHyper(xs, ys, 5, rng)
+	ts, err := gp.NewTrainSet(xs, ys, workers)
+	if err != nil {
+		return nil, err
+	}
 	var best *gp.GP
 	bestML := 0.0
-	for _, h := range hypers {
-		m, err := gp.Fit(xs, ys, h)
+	for _, h := range ts.SampleHyper(5, rng, workers) {
+		m, err := ts.Fit(h)
 		if err != nil {
 			continue
 		}
@@ -106,19 +118,25 @@ func (m *Model) N() int { return m.g.N() }
 // runs the session accumulates. Falls back to a joint Fit when base is too
 // small to infer hyperparameters or the extension is numerically rejected.
 func FitTransfer(base, fresh []Sample, rng *rand.Rand) (*Model, error) {
+	return FitTransferWorkers(base, fresh, rng, 0)
+}
+
+// FitTransferWorkers is FitTransfer with an explicit worker bound for the
+// hyperparameter inference over the transfer prior (see FitWorkers).
+func FitTransferWorkers(base, fresh []Sample, rng *rand.Rand, workers int) (*Model, error) {
 	joint := func() (*Model, error) {
 		all := make([]Sample, 0, len(base)+len(fresh))
 		all = append(all, base...)
 		all = append(all, fresh...)
-		return Fit(all, rng)
+		return FitWorkers(all, rng, workers)
 	}
 	if len(fresh) == 0 {
-		return Fit(base, rng)
+		return FitWorkers(base, rng, workers)
 	}
 	if len(base) < 2 {
 		return joint()
 	}
-	m, err := Fit(base, rng)
+	m, err := FitWorkers(base, rng, workers)
 	if err != nil {
 		return joint()
 	}

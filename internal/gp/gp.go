@@ -3,7 +3,6 @@ package gp
 import (
 	"errors"
 	"fmt"
-	"math"
 
 	"locat/internal/mat"
 	"locat/internal/stat"
@@ -273,17 +272,5 @@ func (g *GP) LogMarginalLikelihood() float64 {
 // logML computes -½·yᵀα - ½·log|K| - n/2·log 2π given the Cholesky factor
 // and α = K⁻¹y. yᵀα is recovered as αᵀKα = |Lᵀα|².
 func logML(chol *mat.Cholesky, alpha []float64) float64 {
-	n := len(alpha)
-	l := chol.L()
-	// w = Lᵀ·α
-	w := make([]float64, n)
-	for i := 0; i < n; i++ {
-		var s float64
-		for k := i; k < n; k++ {
-			s += l.At(k, i) * alpha[k]
-		}
-		w[i] = s
-	}
-	quad := mat.Dot(w, w)
-	return -0.5*quad - 0.5*chol.LogDet() - 0.5*float64(n)*math.Log(2*math.Pi)
+	return logMLInto(chol, alpha, make([]float64, len(alpha)))
 }

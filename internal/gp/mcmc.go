@@ -3,11 +3,39 @@ package gp
 import (
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Slice-sampler settings shared by the serial reference and the multi-chain
+// sampler: burn-in iterations before a state is trusted, the serial
+// sampler's thinning stride, and the initial bracket width.
+const (
+	sliceBurn  = 5
+	sliceThin  = 2
+	sliceWidth = 0.8
+	// Multi-chain schedule: a short shared pilot walk first moves the start
+	// point from the prior default toward the posterior bulk (the serial
+	// sampler's burn-in does the same job implicitly), then every chain
+	// decorrelates from it with its own burn before emitting. Total posterior
+	// evaluations stay comparable to the serial schedule while the per-chain
+	// critical path — what parallel hardware actually waits on — shrinks to
+	// chainBurn+1 iterations.
+	pilotIters = 4
+	chainBurn  = 3
 )
 
 // logPosterior is the unnormalized log posterior of hyperparameters h given
 // the data: log marginal likelihood + log prior. Returns -Inf when the
 // covariance matrix is not positive definite.
+//
+// This is the Fit-per-evaluation reference path — a fresh O(n²·d) kernel
+// assembly, a freshly allocated O(n³) factorization and a full GP per call.
+// The hot path is TrainSet.LogPosterior, which produces the same value (the
+// equivalence is test-pinned) from the cached distance matrix with zero
+// allocations; this function remains as the oracle that equivalence test and
+// the serial reference sampler evaluate.
 func logPosterior(x [][]float64, y []float64, h Hyper) float64 {
 	g, err := Fit(x, y, h)
 	if err != nil {
@@ -18,15 +46,141 @@ func logPosterior(x [][]float64, y []float64, h Hyper) float64 {
 
 // SampleHyper draws n hyperparameter samples from the posterior using
 // univariate slice sampling (Neal 2003) cycled over the three
-// log-hyperparameters, starting from DefaultHyper. This is the MCMC
-// marginalization step of the EI-MCMC acquisition (Snoek et al. 2012) that
-// the paper adopts (Section 3.4, "Acquisition function").
+// log-hyperparameters — the MCMC marginalization step of the EI-MCMC
+// acquisition (Snoek et al. 2012) that the paper adopts (Section 3.4,
+// "Acquisition function").
+//
+// Sampling runs n independent chains over the cached training set (see
+// TrainSet.SampleHyper) on up to GOMAXPROCS workers. rng seeds the chain
+// streams (one draw); results depend only on that seed, never on the worker
+// count or scheduling. Callers that already hold a TrainSet — or want to
+// bound the parallelism — use TrainSet.SampleHyper directly.
 func SampleHyper(x [][]float64, y []float64, n int, rng *rand.Rand) []Hyper {
 	if n <= 0 {
 		return nil
 	}
+	ts, err := NewTrainSet(x, y, 0)
+	if err != nil {
+		// Degenerate data; fall back to the prior default, like a chain whose
+		// starting posterior is -Inf.
+		out := make([]Hyper, n)
+		for i := range out {
+			out[i] = DefaultHyper()
+		}
+		return out
+	}
+	return ts.SampleHyper(n, rng, 0)
+}
+
+// SampleHyper draws n posterior samples by running n independent
+// slice-sampling chains over the cached training set, fanned over a bounded
+// worker pool (workers ≤ 0 selects GOMAXPROCS). Chain c's randomness comes
+// from its own splitmix64-derived stream — the same per-run determinism
+// pattern sparksim uses — seeded by a single draw from rng, so for a fixed
+// rng state the returned samples are bit-identical at every worker count;
+// the pool size only changes wall-clock time. Each chain burns in
+// independently and contributes one sample, so the marginalized samples are
+// genuinely independent draws rather than the thinned, serially correlated
+// states a single chain emits.
+func (ts *TrainSet) SampleHyper(n int, rng *rand.Rand, workers int) []Hyper {
+	if n <= 0 {
+		return nil
+	}
+	base := rng.Int63()
+	out := make([]Hyper, n)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Shared pilot walk: a few serial slice-sampling iterations from the
+	// prior default toward the posterior bulk, on its own derived stream
+	// (tag n — one past the chain indices). Every chain then forks from the
+	// pilot state. The exp map may use the full worker budget here: no chain
+	// runs yet.
+	var pws FitWorkspace
+	pilotRng := rand.New(rand.NewSource(chainSeed(base, n)))
+	pilotPost := func(h Hyper) float64 { return ts.LogPosterior(h, &pws, workers) }
+	start := DefaultHyper()
+	startLP := pilotPost(start)
+	if math.IsInf(startLP, -1) {
+		// Degenerate data; the prior default is the only sane answer.
+		for i := range out {
+			out[i] = start
+		}
+		return out
+	}
+	for it := 0; it < pilotIters; it++ {
+		for coord := 0; coord < 3; coord++ {
+			start, startLP = sliceStep(pilotPost, start, startLP, coord, sliceWidth, pilotRng)
+		}
+	}
+
+	// The chain pool never needs more workers than chains.
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for c := range out {
+			out[c] = ts.sampleChain(chainSeed(base, c), start, startLP, &pws, 1)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var ws FitWorkspace // one workspace per worker, reused across chains
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= n {
+					return
+				}
+				out[c] = ts.sampleChain(chainSeed(base, c), start, startLP, &ws, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// sampleChain runs one independent slice-sampling chain from the pilot
+// state through its own burn-in and returns its final state. All posterior
+// evaluations happen in ws with zero allocations per step.
+func (ts *TrainSet) sampleChain(seed int64, start Hyper, startLP float64, ws *FitWorkspace, workers int) Hyper {
+	rng := rand.New(rand.NewSource(seed))
+	logPost := func(h Hyper) float64 { return ts.LogPosterior(h, ws, workers) }
+	cur, curLP := start, startLP
+	for it := 0; it <= chainBurn; it++ {
+		for coord := 0; coord < 3; coord++ {
+			cur, curLP = sliceStep(logPost, cur, curLP, coord, sliceWidth, rng)
+		}
+	}
+	return cur
+}
+
+// chainSeed derives chain c's rng seed from the base seed by a
+// splitmix64-style mix (the decorrelation pattern of sparksim.runSeed), so
+// neighbouring chains get independent streams.
+func chainSeed(seed int64, chain int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(uint64(chain)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// SampleHyperSerial is the single-chain reference sampler: one chain,
+// Fit-per-evaluation posterior, burn-in then thinned emission — the exact
+// pre-amortization implementation, kept for the statistical cross-check of
+// the multi-chain sampler (and as the baseline of BenchmarkSampleHyper).
+func SampleHyperSerial(x [][]float64, y []float64, n int, rng *rand.Rand) []Hyper {
+	if n <= 0 {
+		return nil
+	}
+	logPost := func(h Hyper) float64 { return logPosterior(x, y, h) }
 	cur := DefaultHyper()
-	curLP := logPosterior(x, y, cur)
+	curLP := logPost(cur)
 	if math.IsInf(curLP, -1) {
 		// Degenerate data; fall back to the prior default.
 		out := make([]Hyper, n)
@@ -35,18 +189,13 @@ func SampleHyper(x [][]float64, y []float64, n int, rng *rand.Rand) []Hyper {
 		}
 		return out
 	}
-	const (
-		burn  = 5
-		thin  = 2
-		width = 0.8
-	)
 	var out []Hyper
-	total := burn + n*thin
+	total := sliceBurn + n*sliceThin
 	for it := 0; it < total; it++ {
 		for coord := 0; coord < 3; coord++ {
-			cur, curLP = sliceStep(x, y, cur, curLP, coord, width, rng)
+			cur, curLP = sliceStep(logPost, cur, curLP, coord, sliceWidth, rng)
 		}
-		if it >= burn && (it-burn)%thin == 0 {
+		if it >= sliceBurn && (it-sliceBurn)%sliceThin == 0 {
 			out = append(out, cur)
 		}
 	}
@@ -57,8 +206,8 @@ func SampleHyper(x [][]float64, y []float64, n int, rng *rand.Rand) []Hyper {
 }
 
 // sliceStep performs one univariate slice-sampling update of coordinate
-// coord of the hyperparameter vector.
-func sliceStep(x [][]float64, y []float64, h Hyper, lp float64, coord int, width float64, rng *rand.Rand) (Hyper, float64) {
+// coord of the hyperparameter vector against the log posterior logPost.
+func sliceStep(logPost func(Hyper) float64, h Hyper, lp float64, coord int, width float64, rng *rand.Rand) (Hyper, float64) {
 	get := func(h Hyper) float64 {
 		switch coord {
 		case 0:
@@ -87,10 +236,10 @@ func sliceStep(x [][]float64, y []float64, h Hyper, lp float64, coord int, width
 	// Step out.
 	lo := x0 - width*rng.Float64()
 	hi := lo + width
-	for i := 0; i < 8 && logPosterior(x, y, set(h, lo)) > logU; i++ {
+	for i := 0; i < 8 && logPost(set(h, lo)) > logU; i++ {
 		lo -= width
 	}
-	for i := 0; i < 8 && logPosterior(x, y, set(h, hi)) > logU; i++ {
+	for i := 0; i < 8 && logPost(set(h, hi)) > logU; i++ {
 		hi += width
 	}
 
@@ -98,7 +247,7 @@ func sliceStep(x [][]float64, y []float64, h Hyper, lp float64, coord int, width
 	for i := 0; i < 20; i++ {
 		v := lo + rng.Float64()*(hi-lo)
 		cand := set(h, v)
-		clp := logPosterior(x, y, cand)
+		clp := logPost(cand)
 		if clp > logU {
 			return cand, clp
 		}

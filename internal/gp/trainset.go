@@ -1,0 +1,216 @@
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+
+	"locat/internal/mat"
+	"locat/internal/stat"
+)
+
+// TrainSet holds everything about a fixed training set that hyperparameter
+// inference can compute once and reuse across every posterior evaluation:
+// the pairwise squared-distance matrix (the only input-dependent part of the
+// squared-exponential kernel) and the standardized targets. With it, one
+// logPosterior evaluation is an elementwise exp map over the cached
+// distances plus an in-place Cholesky refactorization in a caller-supplied
+// workspace — no kernel reassembly from the raw inputs and no allocations —
+// where the Fit-per-step path pays an O(n²·d) assembly and ~2n² fresh floats
+// every slice-sampling step. The slice sampler evaluates the posterior
+// hundreds of times per MCMC run, which is why this is the training-side hot
+// path of the whole tuner.
+//
+// A TrainSet is immutable after construction and safe for concurrent use;
+// per-evaluation mutable state lives in FitWorkspace (one per chain).
+type TrainSet struct {
+	x  [][]float64
+	y  []float64
+	ys []float64 // standardized targets
+	d2 []float64 // pairwise squared distances, n×n row-major, strict lower triangle filled
+
+	yMean, yStd float64
+	n           int
+}
+
+// NewTrainSet validates the training data and precomputes the
+// hyperparameter-independent state: the squared-distance matrix (assembled
+// row-parallel over workers goroutines; ≤0 selects GOMAXPROCS) and the
+// output standardization. The inputs are copied shallowly (rows are shared,
+// never written).
+func NewTrainSet(x [][]float64, y []float64, workers int) (*TrainSet, error) {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return nil, errors.New("gp: empty or mismatched training set")
+	}
+	d := len(x[0])
+	for i, xi := range x {
+		if len(xi) != d {
+			return nil, fmt.Errorf("gp: row %d has %d features, want %d", i, len(xi), d)
+		}
+	}
+	ts := &TrainSet{
+		x:  append([][]float64(nil), x...),
+		y:  append([]float64(nil), y...),
+		d2: make([]float64, n*n),
+		n:  n,
+	}
+	// Pairwise squared distances, each row's entries computed by one worker
+	// (writes are disjoint by row, so the parallel result is deterministic).
+	// Only the strict lower triangle is filled — the kernel assembly never
+	// reads the diagonal (always σ_f²+σ_n²+jitter) or the upper triangle —
+	// which halves the O(n²·d) assembly work. The feature loop matches
+	// kernelEval's summation order exactly, so the cached distances — and
+	// everything derived from them — are bit-identical to the per-pair
+	// recomputation they replace.
+	mat.ParRange(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := ts.d2[i*n : i*n+i]
+			xi := ts.x[i]
+			for j, xj := range ts.x[:i] {
+				var s float64
+				for k := range xi {
+					dk := xi[k] - xj[k]
+					s += dk * dk
+				}
+				row[j] = s
+			}
+		}
+	})
+	ts.yMean = stat.Mean(ts.y)
+	ts.yStd = stat.StdDev(ts.y)
+	if ts.yStd < 1e-12 {
+		ts.yStd = 1
+	}
+	ts.ys = make([]float64, n)
+	for i, v := range ts.y {
+		ts.ys[i] = (v - ts.yMean) / ts.yStd
+	}
+	return ts, nil
+}
+
+// N returns the number of training points.
+func (ts *TrainSet) N() int { return ts.n }
+
+// FitWorkspace holds the grow-only scratch buffers one posterior evaluation
+// works in: the kernel/factor matrix, α, and the Lᵀα product of the evidence
+// computation. Buffers are sized on first use and reused afterwards, so a
+// whole MCMC chain runs with zero per-step allocations. A workspace must not
+// be shared by concurrent LogPosterior calls — the multi-chain sampler gives
+// every worker its own.
+type FitWorkspace struct {
+	kern  []float64  // n×n kernel matrix, refactored in place each evaluation
+	kmat  *mat.Dense // wraps kern; rebuilt only when the size changes
+	alpha []float64
+	w     []float64
+	chol  mat.Cholesky
+}
+
+// dims reports the current kernel-buffer shape (0,0 before first use).
+func (ws *FitWorkspace) dims() (r, c int) {
+	if ws.kmat == nil {
+		return 0, 0
+	}
+	return ws.kmat.Dims()
+}
+
+// LogPosterior evaluates the unnormalized log posterior (log marginal
+// likelihood of the standardized targets + log prior) of hyperparameters h
+// over the cached training set, entirely inside ws. Returns -Inf when the
+// covariance is not positive definite. workers parallelizes the elementwise
+// kernel map (≤0 selects GOMAXPROCS; the factorization itself is serial);
+// the result is bit-identical for every worker count, and matches the
+// Fit-per-step evaluation this replaces exactly.
+func (ts *TrainSet) LogPosterior(h Hyper, ws *FitWorkspace, workers int) float64 {
+	n := ts.n
+	if r, _ := ws.dims(); r != n {
+		ws.kern = make([]float64, n*n)
+		ws.kmat = mat.NewDense(n, n, ws.kern)
+	}
+	ws.alpha = growFloats(ws.alpha, n)
+	ws.w = growFloats(ws.w, n)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// The serial case maps the rows with a direct call: the parallel
+	// branch's closure escapes to ParRange's workers, and the chain hot path
+	// (one chain per worker, serial map) must not allocate at all.
+	kern := ws.kern
+	if workers == 1 {
+		ts.assembleRows(kern, h, 0, n)
+	} else {
+		mat.ParRange(n, workers, func(lo, hi int) { ts.assembleRows(kern, h, lo, hi) })
+	}
+
+	if err := ws.chol.FactorInPlace(ws.kmat); err != nil {
+		return math.Inf(-1)
+	}
+	ws.chol.SolveVecInto(ts.ys, ws.alpha)
+	return logMLInto(&ws.chol, ws.alpha, ws.w) + logPrior(h)
+}
+
+// Fit builds a ready-to-use GP under hyperparameters h, assembling the
+// kernel from the cached distance matrix instead of re-deriving it from the
+// raw inputs. The returned model is identical to gp.Fit on the same data —
+// same factor, same α — and independent of the TrainSet's internals (safe to
+// Append to). bo.Minimize uses it to materialize the per-hyper-sample models
+// right after an MCMC resample, reusing the distance cache one more time.
+func (ts *TrainSet) Fit(h Hyper) (*GP, error) {
+	n := ts.n
+	g := &GP{
+		x:   append([][]float64(nil), ts.x...),
+		y:   append([]float64(nil), ts.y...),
+		hyp: h,
+	}
+	kern := make([]float64, n*n)
+	ts.assembleRows(kern, h, 0, n)
+	var chol mat.Cholesky
+	if err := chol.FactorInPlace(mat.NewDense(n, n, kern)); err != nil {
+		return nil, fmt.Errorf("gp: covariance not PD: %w", err)
+	}
+	g.chol = &chol
+	g.refreshAlpha()
+	return g, nil
+}
+
+// assembleRows writes rows [lo,hi) of the kernel matrix
+// K = σ_f²·exp(-d²/(2ℓ²)) + (σ_n² + jitter)·I into kern (n×n row-major)
+// from the cached distances. Only the lower triangle and diagonal are
+// written: the factorization and the triangular solves never read above the
+// diagonal. The expression shapes (division by 2ℓ², the diagonal's addition
+// order) mirror kernelEval and Fit's AddDiag exactly, so the assembled
+// matrix — and therefore the factor, α and the evidence — is bit-identical
+// to the Fit-based path; LogPosterior and TrainSet.Fit both build on this
+// one helper so the two paths cannot drift apart.
+func (ts *TrainSet) assembleRows(kern []float64, h Hyper, lo, hi int) {
+	n := ts.n
+	l := h.Len()
+	tl2 := 2 * l * l
+	s2 := h.Signal2()
+	diag := s2 + (h.Noise2() + 1e-8)
+	for i := lo; i < hi; i++ {
+		row := kern[i*n : i*n+i]
+		for j, v := range ts.d2[i*n : i*n+i] {
+			row[j] = s2 * math.Exp(-v/tl2)
+		}
+		kern[i*n+i] = diag
+	}
+}
+
+// logMLInto is logML with a caller-supplied buffer for w = Lᵀ·α, so the
+// evidence computation allocates nothing.
+func logMLInto(chol *mat.Cholesky, alpha, w []float64) float64 {
+	n := len(alpha)
+	l := chol.L()
+	for i := 0; i < n; i++ {
+		var s float64
+		for k := i; k < n; k++ {
+			s += l.At(k, i) * alpha[k]
+		}
+		w[i] = s
+	}
+	quad := mat.Dot(w, w)
+	return -0.5*quad - 0.5*chol.LogDet() - 0.5*float64(n)*math.Log(2*math.Pi)
+}

@@ -23,26 +23,71 @@ func NewCholesky(a *Dense) (*Cholesky, error) {
 		return nil, errors.New("mat: Cholesky of non-square matrix")
 	}
 	l := NewDense(n, n, nil)
-	for j := 0; j < n; j++ {
-		var d float64 = a.At(j, j)
-		for k := 0; k < j; k++ {
-			ljk := l.At(j, k)
-			d -= ljk * ljk
-		}
-		if d <= 0 || math.IsNaN(d) {
-			return nil, ErrNotPositiveDefinite
-		}
-		dj := math.Sqrt(d)
-		l.Set(j, j, dj)
-		for i := j + 1; i < n; i++ {
-			s := a.At(i, j)
-			for k := 0; k < j; k++ {
-				s -= l.At(i, k) * l.At(j, k)
-			}
-			l.Set(i, j, s/dj)
-		}
+	for i := 0; i < n; i++ {
+		copy(l.data[i*n:i*n+i+1], a.data[i*a.cols:i*a.cols+i+1])
+	}
+	if err := factorLower(l); err != nil {
+		return nil, err
 	}
 	return &Cholesky{l: l}, nil
+}
+
+// factorLower runs the Cholesky recurrences in place over the lower triangle
+// of l: on entry the lower triangle holds A, on exit it holds L. The column-j
+// recurrences read position (i,j) exactly once — while it still holds A's
+// value — before overwriting it, so the factor is identical to one computed
+// into separate storage. Entries above the diagonal are never touched (every
+// consumer of the factor — the triangular solves, LogDet, Extend — reads the
+// lower triangle only). Inner loops run over row slices, which is what makes
+// the zero-allocation refit path of gp's hyperparameter sampler cheap.
+func factorLower(l *Dense) error {
+	n := l.rows
+	ld := l.data
+	for j := 0; j < n; j++ {
+		lrowj := ld[j*n : j*n+j+1]
+		d := lrowj[j]
+		for _, v := range lrowj[:j] {
+			d -= v * v
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return ErrNotPositiveDefinite
+		}
+		dj := math.Sqrt(d)
+		lrowj[j] = dj
+		lj := lrowj[:j]              // explicit length match with the i-row prefix: lets
+		for i := j + 1; i < n; i++ { // the compiler drop the lj[k] bounds check
+			lrowi := ld[i*n : i*n+j+1]
+			s := lrowi[j]
+			for k, v := range lrowi[:j] {
+				s -= v * lj[k]
+			}
+			lrowi[j] = s / dj
+		}
+	}
+	return nil
+}
+
+// FactorInPlace factors the symmetric positive definite matrix a in place —
+// the lower triangle of a is overwritten with L, no fresh storage — and
+// points the receiver at it. On error the receiver is left unchanged (a's
+// lower triangle is partially overwritten and must be reassembled before
+// retrying). a must be square and is owned by the receiver afterwards.
+//
+// This is the refit primitive of gp's amortized hyperparameter inference:
+// every slice-sampling step reassembles the kernel matrix into one reusable
+// buffer and refactors it here, so the O(n³) work stays but the O(n²)
+// allocation (and its GC pressure — hundreds of MB per MCMC run at n=300)
+// disappears.
+func (c *Cholesky) FactorInPlace(a *Dense) error {
+	n, cols := a.Dims()
+	if n != cols {
+		return errors.New("mat: Cholesky of non-square matrix")
+	}
+	if err := factorLower(a); err != nil {
+		return err
+	}
+	c.l = a
+	return nil
 }
 
 // L returns the lower-triangular factor (not a copy).
@@ -96,28 +141,38 @@ func (c *Cholesky) Extend(col []float64, diag float64) error {
 // SolveVec solves A·x = b in place-free fashion and returns x.
 func (c *Cholesky) SolveVec(b []float64) []float64 {
 	n, _ := c.l.Dims()
-	if len(b) != n {
-		panic("mat: Cholesky.SolveVec length mismatch")
+	return c.SolveVecInto(b, make([]float64, n))
+}
+
+// SolveVecInto solves A·x = b into dst and returns dst. dst may alias b:
+// the forward substitution only reads b[i] before writing dst[i], and the
+// back substitution rewrites dst from the tail using only entries it has
+// already produced. No scratch vector is allocated, which is what keeps the
+// per-step cost of gp's slice sampler allocation-free.
+func (c *Cholesky) SolveVecInto(b, dst []float64) []float64 {
+	n, _ := c.l.Dims()
+	if len(b) != n || len(dst) != n {
+		panic("mat: Cholesky.SolveVecInto length mismatch")
 	}
-	// Forward substitution: L·y = b.
-	y := make([]float64, n)
+	ld := c.l.data
+	// Forward substitution: L·y = b (y lands in dst).
 	for i := 0; i < n; i++ {
 		s := b[i]
+		lrow := ld[i*n : i*n+i+1]
 		for k := 0; k < i; k++ {
-			s -= c.l.At(i, k) * y[k]
+			s -= lrow[k] * dst[k]
 		}
-		y[i] = s / c.l.At(i, i)
+		dst[i] = s / lrow[i]
 	}
-	// Back substitution: Lᵀ·x = y.
-	x := make([]float64, n)
+	// Back substitution: Lᵀ·x = y (x overwrites y in dst).
 	for i := n - 1; i >= 0; i-- {
-		s := y[i]
+		s := dst[i]
 		for k := i + 1; k < n; k++ {
-			s -= c.l.At(k, i) * x[k]
+			s -= ld[k*n+i] * dst[k]
 		}
-		x[i] = s / c.l.At(i, i)
+		dst[i] = s / ld[i*n+i]
 	}
-	return x
+	return dst
 }
 
 // SolveLowerVec solves L·y = b (forward substitution only) and returns y.

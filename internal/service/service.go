@@ -190,7 +190,7 @@ type Service struct {
 	cfg   Config
 	store Store
 
-	mu        sync.Mutex
+	mu        sync.RWMutex
 	jobs      map[string]*job
 	order     []string
 	seq       int
@@ -288,8 +288,8 @@ func (s *Service) Submit(spec JobSpec) (string, error) {
 
 // Status returns a job's current snapshot.
 func (s *Service) Status(id string) (JobStatus, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	j, ok := s.jobs[id]
 	if !ok {
 		return JobStatus{}, fmt.Errorf("service: unknown job %q", id)
@@ -299,8 +299,8 @@ func (s *Service) Status(id string) (JobStatus, error) {
 
 // Jobs returns snapshots of every job in submission order.
 func (s *Service) Jobs() []JobStatus {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make([]JobStatus, 0, len(s.order))
 	for _, id := range s.order {
 		out = append(out, s.jobs[id].snapshotLocked())
@@ -308,7 +308,10 @@ func (s *Service) Jobs() []JobStatus {
 	return out
 }
 
-// snapshotLocked renders the job; the service mutex must be held.
+// snapshotLocked renders the job; the service mutex must be held (a read
+// lock suffices — every job mutation happens under the write lock, so the
+// read paths Status/Jobs/Stats snapshot concurrently without serializing
+// behind each other or behind Submit).
 func (j *job) snapshotLocked() JobStatus {
 	st := JobStatus{
 		ID:          j.id,
@@ -333,15 +336,15 @@ func (j *job) snapshotLocked() JobStatus {
 // Result blocks until the job finishes and returns its result (an error for
 // failed or cancelled jobs).
 func (s *Service) Result(id string) (*JobResult, error) {
-	s.mu.Lock()
+	s.mu.RLock()
 	j, ok := s.jobs[id]
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("service: unknown job %q", id)
 	}
 	<-j.done
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	switch j.state {
 	case StateSucceeded:
 		return j.result, nil
@@ -378,8 +381,8 @@ func (s *Service) Cancel(id string) error {
 
 // Stats reports the queue and pool occupancy.
 func (s *Service) Stats() (queued, running, finished int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for _, j := range s.jobs {
 		switch {
 		case j.state == StateQueued:

@@ -307,3 +307,71 @@ func TestFileStoreBackedServiceWarmStartsAcrossRestart(t *testing.T) {
 		t.Fatal("restarted service did not warm-start from persisted history")
 	}
 }
+
+// TestConcurrentReadsUnderSubmit hammers the read-only paths (Status, Jobs,
+// Stats) from many goroutines while jobs are being submitted and executed.
+// Under -race this pins the RWMutex split: reads must be safe against the
+// write paths, and read-path snapshots must never observe a job map entry
+// without its submission fields. (Before the split every read serialized
+// behind the single write mutex; now they only exclude writers.)
+func TestConcurrentReadsUnderSubmit(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+
+	var ids []string
+	var idMu sync.Mutex
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				for _, js := range s.Jobs() {
+					if js.ID == "" || js.Submitted.IsZero() {
+						t.Errorf("snapshot missing submission fields: %+v", js)
+						return
+					}
+				}
+				s.Stats()
+				idMu.Lock()
+				snapshot := append([]string(nil), ids...)
+				idMu.Unlock()
+				for _, id := range snapshot {
+					if _, err := s.Status(id); err != nil {
+						t.Errorf("Status(%s): %v", id, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 6; i++ {
+		id, err := s.Submit(quickSpec(40+float64(i), int64(i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		idMu.Lock()
+		ids = append(ids, id)
+		idMu.Unlock()
+	}
+	idMu.Lock()
+	all := append([]string(nil), ids...)
+	idMu.Unlock()
+	for _, id := range all {
+		if _, err := s.Result(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+	q, r, f := s.Stats()
+	if q != 0 || r != 0 || f != len(all) {
+		t.Fatalf("stats after drain: queued=%d running=%d finished=%d", q, r, f)
+	}
+}

@@ -76,12 +76,19 @@ type Options struct {
 	// reports phase transitions, sample counts and the stop condition on
 	// stderr; Quiet silences all of it.
 	Quiet bool
-	// Parallelism bounds the concurrent execution slots used for
-	// independent sample-collection runs (phase-1 LHS samples, warm-start
-	// anchors). 0 uses all CPU cores, 1 runs serially. On the simulator the
-	// result is identical for every setting — each run's noise derives from
-	// its run index, not from execution order — so this only trades
-	// wall-clock time for CPU.
+	// ColdStart opts a Service job out of history retrieval: the session
+	// runs the full sampling pipeline even when similar past sessions
+	// exist. Useful as a control when measuring what warm starts save, and
+	// for re-validating a workload from scratch. Ignored by Tune, which
+	// never consults a history store.
+	ColdStart bool
+	// Parallelism bounds the goroutines used for the session's parallel
+	// work: the concurrent execution slots of independent sample-collection
+	// runs (phase-1 LHS samples, warm-start anchors) and the MCMC chains of
+	// every GP hyperparameter resample. 0 uses all CPU cores, 1 runs
+	// serially. The result is identical for every setting — each run's noise
+	// and each chain's randomness derive from its index, not from execution
+	// order — so this only trades wall-clock time for CPU.
 	Parallelism int
 	// Backend selects the execution backend (see internal/runner):
 	//

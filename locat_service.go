@@ -106,6 +106,7 @@ func specOf(o Options) (service.JobSpec, error) {
 		DisableQCSA:   o.DisableQCSA,
 		DisableIICP:   o.DisableIICP,
 		DisableDAGP:   o.DisableDAGP,
+		ColdStart:     o.ColdStart,
 		Backend:       o.Backend,
 	}, nil
 }

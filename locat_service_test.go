@@ -44,7 +44,12 @@ func TestServiceFacade(t *testing.T) {
 		t.Fatal("service result cannot render spark-defaults.conf")
 	}
 
-	// Neighboring-size job warm-starts and costs less.
+	// Neighboring-size job warm-starts from job A's cross-size history (the
+	// only entry that exists when it runs), and costs less than the same
+	// job run cold: the ColdStart control — submitted afterwards so it
+	// cannot feed B an exact-size prior — holds workload, size and seed
+	// fixed, so the comparison isn't confounded by the different input size
+	// and seed the way comparing against job A would be.
 	o2 := fastOpts()
 	o2.DataSizeGB = 140
 	o2.Seed = 4
@@ -59,21 +64,35 @@ func TestServiceFacade(t *testing.T) {
 	if !resB.WarmStarted {
 		t.Fatal("neighboring-size job not warm-started")
 	}
-	if resB.OverheadSeconds >= resA.OverheadSeconds {
-		t.Fatalf("warm overhead %.0f not below cold %.0f",
-			resB.OverheadSeconds, resA.OverheadSeconds)
+	oCtl := o2
+	oCtl.ColdStart = true
+	idCtl, err := svc.Submit(oCtl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resCtl, err := svc.Result(idCtl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resCtl.WarmStarted {
+		t.Fatal("ColdStart control consumed history")
+	}
+	if resB.OverheadSeconds >= resCtl.OverheadSeconds {
+		t.Fatalf("warm overhead %.0f not below the cold control's %.0f",
+			resB.OverheadSeconds, resCtl.OverheadSeconds)
 	}
 
-	// History and job listing reflect both sessions.
+	// History and job listing reflect all three sessions (the ColdStart
+	// control skips retrieval, not persistence).
 	hist, err := svc.History()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(hist) != 2 {
-		t.Fatalf("history %+v, want 2 entries", hist)
+	if len(hist) != 3 {
+		t.Fatalf("history %+v, want 3 entries", hist)
 	}
 	jobs := svc.Jobs()
-	if len(jobs) != 2 || jobs[0].ID != idA || jobs[1].ID != idB {
+	if len(jobs) != 3 || jobs[0].ID != idA || jobs[1].ID != idB || jobs[2].ID != idCtl {
 		t.Fatalf("job listing %+v", jobs)
 	}
 	for _, j := range jobs {

@@ -14,7 +14,10 @@
 //	locat-bench -all -quick -json BENCH_PR.json -baseline BENCH_BASELINE.json
 //
 // -json writes per-experiment wall time, simulated cluster seconds and
-// final tuned cost. -baseline compares the report against a previous one
+// final tuned cost, plus a per-phase breakdown ("phases") of the LOCAT
+// pipeline: wall time, cluster seconds and run counts for sampling, QCSA,
+// IICP, the subspace search and the GP hyperparameter resamples.
+// -baseline compares the report against a previous one
 // and exits with status 3 when any deterministic metric regresses by more
 // than -max-regress (default 20%). Wall time is reported but only gated
 // with -gate-wall, since it depends on the machine.
@@ -74,6 +77,19 @@ type experiment struct {
 	FinalCost float64 `json:"final_cost"`
 	// Runs is the number of executions performed.
 	Runs int64 `json:"runs"`
+	// Phases breaks the experiment's LOCAT tuning runs down by pipeline
+	// phase (aggregated by name; empty for experiments that never enter the
+	// LOCAT pipeline). Wall time is machine-dependent and never gated;
+	// cluster seconds and run counts are deterministic.
+	Phases []phase `json:"phases,omitempty"`
+}
+
+// phase is one pipeline phase's share of an experiment.
+type phase struct {
+	Name       string  `json:"name"`
+	WallSec    float64 `json:"wall_sec"`
+	ClusterSec float64 `json:"cluster_sec"`
+	Runs       int64   `json:"runs"`
 }
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -178,12 +194,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		wall := time.Since(start)
 		runs, clusterSec, finalCost := s.TakeUsage()
+		var phases []phase
+		for _, sp := range s.TakePhases() {
+			phases = append(phases, phase{
+				Name:       sp.Name,
+				WallSec:    sp.WallMS / 1000,
+				ClusterSec: sp.ClusterSec,
+				Runs:       sp.Runs,
+			})
+		}
 		rep.Experiments = append(rep.Experiments, experiment{
 			ID:         id,
 			WallSec:    wall.Seconds(),
 			ClusterSec: clusterSec,
 			FinalCost:  finalCost,
 			Runs:       runs,
+			Phases:     phases,
 		})
 		fmt.Fprintf(stdout, "(%s finished in %s; %d runs, %.0f simulated cluster seconds)\n\n",
 			id, wall.Round(time.Millisecond), runs, clusterSec)

@@ -15,9 +15,12 @@
 //	GET    /v1/jobs/{id}/result  finished job's result
 //	GET    /v1/jobs/{id}/conf    tuned spark-defaults.conf (text/plain)
 //	DELETE /v1/jobs/{id}       cancel
+//	GET    /v1/jobs/{id}/trace   the job's phase-span timeline
 //	GET    /v1/history         history-store summaries
 //	GET    /v1/history/{key}   entries under one workload fingerprint
-//	GET    /healthz            liveness and pool occupancy
+//	GET    /healthz            liveness and job census by state
+//	GET    /metrics            Prometheus text exposition
+//	GET    /debug/pprof/...    Go profiling endpoints (only with -pprof)
 //
 // Example session:
 //
@@ -32,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -47,6 +51,7 @@ func main() {
 		workers = flag.Int("workers", 2, "maximum concurrent tuning sessions")
 		quiet   = flag.Bool("quiet", false, "suppress the progress log")
 		backend = flag.String("backend", "", "default execution backend: sim, record=PATH, replay=PATH, sparkrest=URL (jobs may override)")
+		pprofOn = flag.Bool("pprof", false, "expose Go profiling under /debug/pprof/ (off by default: profiling endpoints on a shared service are a footgun)")
 	)
 	flag.Parse()
 
@@ -61,7 +66,22 @@ func main() {
 		os.Exit(1)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	handler := svc.Handler()
+	if *pprofOn {
+		// Mount the profiling handlers explicitly instead of importing the
+		// package for its DefaultServeMux side effect: the API mux stays in
+		// front, and without -pprof nothing is reachable.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "locat-serve: listening on %s (workers=%d, store=%s)\n",

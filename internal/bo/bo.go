@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"locat/internal/gp"
+	"locat/internal/obs"
 	"locat/internal/stat"
 )
 
@@ -101,6 +102,11 @@ type Options struct {
 	// The recorded history is identical to the serial Eval loop, whatever
 	// the evaluator's internal parallelism.
 	EvalBatch func(xs, ctxs [][]float64) []float64
+	// Tracer, if non-nil, receives one span per GP hyperparameter resample
+	// ("gp/hyper-resample"), recording how much wall time the surrogate
+	// refits cost relative to the evaluations they steer. Nil traces nothing
+	// and adds no allocations.
+	Tracer obs.Tracer
 }
 
 // DefaultOptions mirror the paper's settings.
@@ -146,6 +152,7 @@ func Minimize(p Problem, opts Options) Result {
 		opts.MCMCSamples = 1
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
+	tr := obs.OrNop(opts.Tracer)
 
 	var res Result
 	res.BestY = math.Inf(1)
@@ -230,6 +237,7 @@ func Minimize(p Problem, opts Options) Result {
 			// shared by every MCMC chain (each slice step is then an
 			// allocation-free refit in a per-chain workspace) and by the
 			// per-sample model fits that follow.
+			hs := tr.Start("gp/hyper-resample")
 			xs, ys = modelData(trimHistory(res.History, opts.MaxModelPoints))
 			iterSinceSample = 0
 			models = models[:0]
@@ -241,6 +249,7 @@ func Minimize(p Problem, opts Options) Result {
 				}
 			}
 			modelMark = len(res.History)
+			hs.End()
 		} else if modelMark < len(res.History) {
 			newXs, newYs := modelData(res.History[modelMark:])
 			xs = append(xs, newXs...)

@@ -33,6 +33,7 @@ import (
 	"locat/internal/conf"
 	"locat/internal/dagp"
 	"locat/internal/iicp"
+	"locat/internal/obs"
 	"locat/internal/progress"
 	"locat/internal/qcsa"
 	"locat/internal/runner"
@@ -137,6 +138,13 @@ type Options struct {
 	// aborts the session and Tune returns ErrStopped. The tuning service
 	// uses it for cooperative job cancellation.
 	Stop func() bool
+	// Tracer, if non-nil, receives one span per session phase (phase-1
+	// sampling or warm anchors, QCSA, IICP, phase-2 search, final
+	// selection, plus one per GP hyperparameter resample), each charged
+	// with the wall time, simulated cluster seconds and run count the phase
+	// consumed. Nil means no tracing: the no-op tracer costs nothing on the
+	// hot path (zero allocations per span; see internal/obs).
+	Tracer obs.Tracer
 	// Logf, if non-nil, receives progress lines (phase transitions, run
 	// counts, stop-condition firings).
 	Logf progress.Logf
@@ -280,6 +288,12 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 	}
 	space := t.run.Space()
 	rep := &Report{}
+	// Every phase below opens a span on the injected tracer; the no-op
+	// default makes this free. phaseSpan is the span sample-collection
+	// charges run costs to — recordFull and the phase-2 evaluator run on
+	// the session goroutine, so swapping it per phase is race-free.
+	tr := obs.OrNop(t.opts.Tracer)
+	phaseSpan := obs.Nop.Start("")
 	sizeOf := func(run int) float64 {
 		if t.opts.DataSchedule != nil {
 			return t.opts.DataSchedule(run)
@@ -309,6 +323,7 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 		rep.OverheadSec += run.Sec
 		rep.SamplingSec += run.Sec
 		rep.FullRuns++
+		phaseSpan.Add(1, run.Sec)
 		rep.History = append(rep.History, Eval{
 			Conf: c, DataGB: ds, Sec: run.Sec, FullApp: true, QuerySecs: querySecs(run),
 		})
@@ -344,6 +359,7 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 	var p1res bo.Result
 	if prior == nil {
 		t.logf("phase 1: collecting %d full-application samples (cold start)", t.opts.NQCSA)
+		phaseSpan = tr.Start("phase1/sampling")
 		p1 := bo.Problem{
 			Dim:  space.Dim(),
 			Eval: func(x, ctx []float64) float64 { return runFull(space.Decode(x)) },
@@ -369,6 +385,7 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 			Workers:     t.opts.Workers,
 			Seed:        t.opts.Seed,
 			Stop:        t.opts.Stop,
+			Tracer:      t.opts.Tracer,
 			EvalBatch: func(xs, ctxs [][]float64) []float64 {
 				cs := make([]conf.Config, len(xs))
 				for i, x := range xs {
@@ -378,14 +395,18 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 				return ys
 			},
 		})
+		phaseSpan.End()
 	} else {
 		rep.WarmStarted = true
 		rep.PriorObsUsed = len(prior.Obs)
 		fresh := min(t.opts.WarmFreshRuns, t.opts.NQCSA)
 		t.logf("phase 1: warm start from %d prior observations, %d fresh anchor runs",
 			len(prior.Obs), fresh)
+		phaseSpan = tr.Start("phase1/warm-anchors")
 		rng := rand.New(rand.NewSource(t.opts.Seed))
-		if _, complete := runFullBatch(space.LHS(fresh, rng)); !complete {
+		_, complete := runFullBatch(space.LHS(fresh, rng))
+		phaseSpan.End()
+		if !complete {
 			return nil, ErrStopped
 		}
 		// Prior observations and the fresh anchors together form the
@@ -425,6 +446,7 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 	}
 	keep := keepAll
 	if t.opts.UseQCSA {
+		qs := tr.Start("qcsa/reduce")
 		if prior != nil && len(prior.Sensitive) > 0 {
 			// Reuse the past session's sensitivity analysis verbatim.
 			keep = map[string]bool{}
@@ -441,6 +463,7 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 		} else {
 			qres, err := qcsa.Analyze(t.app, phase1Runs)
 			if err != nil {
+				qs.End()
 				return nil, err
 			}
 			rep.QCSA = qres
@@ -452,6 +475,7 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 			t.logf("qcsa: kept %d/%d configuration-sensitive queries",
 				len(qres.Sensitive), len(t.app.Queries))
 		}
+		qs.End()
 	}
 	rqaSec := func(qs map[string]float64, total float64) (float64, bool) {
 		if !t.opts.UseQCSA {
@@ -479,9 +503,12 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 	if prior != nil {
 		warmN = len(prior.Obs)
 	}
+	dspan := tr.Start("dagp/select-base")
 	bestPhase1 := space.Decode(t.bestOfHistory(p1res, warmN, targetGB))
+	dspan.End()
 	tuneIdx := allIndices(space.Dim())
 	if t.opts.UseIICP {
+		is := tr.Start("iicp/select")
 		if prior != nil && len(prior.Important) > 0 {
 			tuneIdx = append([]int(nil), prior.Important...)
 			rep.IICP = &iicp.Result{Important: append([]int(nil), prior.Important...)}
@@ -503,6 +530,7 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 			}
 			ires, err := iicp.Analyze(space, isamples[:min(n, len(isamples))], iopts)
 			if err != nil {
+				is.End()
 				return nil, err
 			}
 			rep.IICP = ires
@@ -511,6 +539,7 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 			}
 			t.logf("iicp: selected %d important parameters", len(tuneIdx))
 		}
+		is.End()
 	}
 	sub, err := conf.NewSubspace(space, bestPhase1, tuneIdx)
 	if err != nil {
@@ -537,6 +566,7 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 
 	// ---- Phase 2: BO over the important-parameter subspace on the RQA. ----
 	t.logf("phase 2: subspace BO over %d parameters (%d warm observations)", sub.Dim(), len(init))
+	phaseSpan = tr.Start("phase2/search")
 	p2 := bo.Problem{
 		Dim: sub.Dim(),
 		Eval: func(x, ctx []float64) float64 {
@@ -545,6 +575,7 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 			run := t.run.RunApp(target, c, ds)
 			rep.OverheadSec += run.Sec
 			rep.SearchSec += run.Sec
+			phaseSpan.Add(1, run.Sec)
 			if t.opts.UseQCSA {
 				rep.RQARuns++
 			} else {
@@ -574,7 +605,9 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 		Init:        init,
 		Seed:        t.opts.Seed + 1,
 		Stop:        t.opts.Stop,
+		Tracer:      t.opts.Tracer,
 	})
+	phaseSpan.End()
 	if t.stopped() {
 		return nil, ErrStopped
 	}
@@ -586,8 +619,10 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 	if prior != nil {
 		p2warm = len(init)
 	}
+	fs := tr.Start("final/select")
 	rep.Best = t.pickBest(sub, p2res, p2warm, targetGB)
 	rep.TunedSec = t.run.NoiselessAppTime(t.app, rep.Best, targetGB)
+	fs.End()
 	t.logf("done: %d runs, %.0f s overhead (%.0f sampling + %.0f search), tuned latency %.0f s",
 		rep.Evaluations(), rep.OverheadSec, rep.SamplingSec, rep.SearchSec, rep.TunedSec)
 	return rep, nil

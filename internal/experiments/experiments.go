@@ -18,6 +18,7 @@ import (
 	"locat/internal/baselines"
 	"locat/internal/conf"
 	"locat/internal/core"
+	"locat/internal/obs"
 	"locat/internal/qcsa"
 	"locat/internal/runner"
 	"locat/internal/sparksim"
@@ -78,15 +79,17 @@ type Session struct {
 	// Quick scales every budget down for fast test/bench runs.
 	Quick bool
 
-	tuned   map[string]*Outcome
-	factory *runner.Factory
-	tally   runner.Tally
+	tuned    map[string]*Outcome
+	factory  *runner.Factory
+	tally    runner.Tally
+	timeline *obs.Timeline
 
-	// usage cursors for TakeUsage deltas.
+	// usage cursors for TakeUsage / TakePhases deltas.
 	lastRuns int64
 	lastSec  float64
 	cost     float64
 	lastCost float64
+	lastSpan int
 }
 
 // NewSession returns a session on the simulator backend.
@@ -104,7 +107,12 @@ func NewSessionBackend(seed int64, quick bool, backend string) (*Session, error)
 	if err != nil {
 		return nil, err
 	}
-	return &Session{Seed: seed, Quick: quick, tuned: map[string]*Outcome{}, factory: f}, nil
+	return &Session{
+		Seed: seed, Quick: quick,
+		tuned:    map[string]*Outcome{},
+		factory:  f,
+		timeline: obs.NewTimeline(),
+	}, nil
 }
 
 // Close flushes the backend factory (the trace sink of a recording
@@ -144,6 +152,20 @@ func (s *Session) TakeUsage() (runs int64, clusterSec, finalCost float64) {
 	return runs, clusterSec, finalCost
 }
 
+// TakePhases returns the phase spans the session's LOCAT tuning runs
+// recorded since the last call, aggregated by phase name (repeated
+// hyperparameter resamples collapse into one row), in first-appearance
+// order. Experiments that only exercise baselines or raw sample collection
+// return nothing — only the LOCAT pipeline is phase-traced. Memoized tuning
+// outcomes record no new spans, matching how TakeUsage charges nothing for
+// a cache hit.
+func (s *Session) TakePhases() []obs.SpanRecord {
+	spans := s.timeline.Snapshot()
+	fresh := spans[min(s.lastSpan, len(spans)):]
+	s.lastSpan = len(spans)
+	return obs.Aggregate(fresh)
+}
+
 // Outcome is one tuner's result on one (cluster, benchmark, size) triple.
 type Outcome struct {
 	Tuner       string
@@ -176,6 +198,7 @@ func (s *Session) benchmarks() []*sparksim.Application {
 func (s *Session) locatOptions() core.Options {
 	o := core.DefaultOptions()
 	o.Seed = s.Seed
+	o.Tracer = s.timeline
 	if s.Quick {
 		o.NQCSA = 10
 		o.NIICP = 8

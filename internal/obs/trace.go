@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Tracer opens named spans. The tuner threads one through its phases
+// (phase-1 sampling, QCSA, IICP, phase-2 search, hyperparameter resamples)
+// so a finished session can answer "where did the seconds go". The default
+// is Nop, which costs nothing on the hot path — zero allocations per span,
+// pinned by BenchmarkNopTracer.
+type Tracer interface {
+	// Start opens a span. The caller must End it; spans of one tracer are
+	// started and ended by one goroutine (phases are sequential), but Add
+	// may be called while the span is open from the goroutine driving it.
+	Start(name string) Span
+}
+
+// Span is one traced phase. Add charges executions to it; End closes it.
+type Span interface {
+	// Add charges runs executions consuming clusterSec simulated cluster
+	// seconds to the span.
+	Add(runs int64, clusterSec float64)
+	// End closes the span, fixing its wall duration.
+	End()
+}
+
+type nopTracer struct{}
+type nopSpan struct{}
+
+func (nopTracer) Start(string) Span { return nopSpan{} }
+func (nopSpan) Add(int64, float64)  {}
+func (nopSpan) End()                {}
+
+// Nop is the no-op tracer: Start returns a zero-width span, so the
+// instrumented hot paths stay allocation-free when tracing is off.
+var Nop Tracer = nopTracer{}
+
+// OrNop returns t, or Nop when t is nil — the guard every Options.Tracer
+// consumer applies once so call sites never nil-check.
+func OrNop(t Tracer) Tracer {
+	if t == nil {
+		return Nop
+	}
+	return t
+}
+
+// SpanRecord is one recorded span of a Timeline — the JSON the trace
+// endpoint and the bench phase breakdown serve.
+type SpanRecord struct {
+	// Name identifies the phase ("phase1/sampling", "phase2/search", ...).
+	Name string `json:"name"`
+	// StartMS is the span's start offset from the timeline origin.
+	StartMS float64 `json:"start_ms"`
+	// WallMS is the span's wall-clock duration (for a still-open span, the
+	// duration up to the snapshot).
+	WallMS float64 `json:"wall_ms"`
+	// ClusterSec is the simulated cluster time charged to the span.
+	ClusterSec float64 `json:"cluster_sec"`
+	// Runs is the number of executions charged to the span.
+	Runs int64 `json:"runs"`
+	// Done reports whether the span has ended.
+	Done bool `json:"done"`
+}
+
+// Timeline is a Tracer that records every span with wall time, charged
+// cluster seconds and run counts, relative to a fixed origin. Safe for
+// concurrent use: the session goroutine writes spans while HTTP trace
+// requests snapshot them.
+type Timeline struct {
+	mu    sync.Mutex
+	start time.Time
+	spans []*timelineSpan
+}
+
+type timelineSpan struct {
+	tl         *Timeline
+	name       string
+	start      time.Time
+	wall       time.Duration
+	clusterSec float64
+	runs       int64
+	done       bool
+}
+
+// NewTimeline returns a timeline with its origin at now.
+func NewTimeline() *Timeline {
+	return &Timeline{start: time.Now()}
+}
+
+// Start opens a recorded span.
+func (t *Timeline) Start(name string) Span {
+	s := &timelineSpan{tl: t, name: name, start: time.Now()}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Add charges executions to the span.
+func (s *timelineSpan) Add(runs int64, clusterSec float64) {
+	s.tl.mu.Lock()
+	s.runs += runs
+	s.clusterSec += clusterSec
+	s.tl.mu.Unlock()
+}
+
+// End closes the span.
+func (s *timelineSpan) End() {
+	s.tl.mu.Lock()
+	if !s.done {
+		s.wall = time.Since(s.start)
+		s.done = true
+	}
+	s.tl.mu.Unlock()
+}
+
+// Snapshot returns the recorded spans in start order. Open spans report
+// their wall time up to the snapshot with Done false.
+func (t *Timeline) Snapshot() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, len(t.spans))
+	for i, s := range t.spans {
+		wall := s.wall
+		if !s.done {
+			wall = time.Since(s.start)
+		}
+		out[i] = SpanRecord{
+			Name:       s.name,
+			StartMS:    float64(s.start.Sub(t.start)) / float64(time.Millisecond),
+			WallMS:     float64(wall) / float64(time.Millisecond),
+			ClusterSec: s.clusterSec,
+			Runs:       s.runs,
+			Done:       s.done,
+		}
+	}
+	return out
+}
+
+// Len returns the number of spans recorded so far.
+func (t *Timeline) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Aggregate merges spans with the same name, summing wall time, cluster
+// seconds and run counts. Names keep first-appearance order, each merged
+// record starts at its earliest occurrence, and Done holds only when every
+// merged span ended. Repeated spans ("gp/hyper-resample" fires once per
+// refresh) collapse into one row — the shape the bench phase breakdown and
+// the facade report.
+func Aggregate(spans []SpanRecord) []SpanRecord {
+	idx := make(map[string]int, len(spans))
+	out := make([]SpanRecord, 0, len(spans))
+	for _, s := range spans {
+		i, ok := idx[s.Name]
+		if !ok {
+			idx[s.Name] = len(out)
+			out = append(out, s)
+			continue
+		}
+		if s.StartMS < out[i].StartMS {
+			out[i].StartMS = s.StartMS
+		}
+		out[i].WallMS += s.WallMS
+		out[i].ClusterSec += s.ClusterSec
+		out[i].Runs += s.Runs
+		out[i].Done = out[i].Done && s.Done
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTimelineSpans(t *testing.T) {
+	tl := NewTimeline()
+	s1 := tl.Start("phase1/sampling")
+	s1.Add(10, 1234.5)
+	s1.Add(2, 100)
+	s1.End()
+	s2 := tl.Start("phase2/search")
+	s2.Add(6, 600)
+
+	snap := tl.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("got %d spans, want 2", len(snap))
+	}
+	if snap[0].Name != "phase1/sampling" || snap[0].Runs != 12 || snap[0].ClusterSec != 1334.5 || !snap[0].Done {
+		t.Fatalf("span 0 = %+v", snap[0])
+	}
+	// The second span is still open: wall accrues, Done is false.
+	if snap[1].Name != "phase2/search" || snap[1].Done {
+		t.Fatalf("span 1 = %+v", snap[1])
+	}
+	time.Sleep(2 * time.Millisecond)
+	snap2 := tl.Snapshot()
+	if snap2[1].WallMS <= snap[1].WallMS {
+		t.Fatalf("open span wall did not accrue: %v -> %v", snap[1].WallMS, snap2[1].WallMS)
+	}
+	s2.End()
+	end1 := tl.Snapshot()[1].WallMS
+	time.Sleep(2 * time.Millisecond)
+	if got := tl.Snapshot()[1].WallMS; got != end1 {
+		t.Fatalf("ended span wall still accrues: %v -> %v", end1, got)
+	}
+	// Double End is a no-op.
+	s2.End()
+	if tl.Len() != 2 {
+		t.Fatalf("Len = %d", tl.Len())
+	}
+
+	// The snapshot marshals to the documented JSON schema.
+	data, err := json.Marshal(tl.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []SpanRecord
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back[0].ClusterSec != 1334.5 {
+		t.Fatalf("roundtrip span = %+v", back[0])
+	}
+}
+
+// TestTimelineConcurrentSnapshot snapshots while a span is being charged;
+// run under -race.
+func TestTimelineConcurrentSnapshot(t *testing.T) {
+	tl := NewTimeline()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := tl.Start("phase")
+			s.Add(1, 10)
+			s.End()
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		for _, sr := range tl.Snapshot() {
+			if sr.Done && sr.Runs != 1 {
+				t.Fatalf("ended span with runs %d", sr.Runs)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestNopTracerZeroAlloc pins the acceptance criterion: with the no-op
+// tracer, the span open/charge/close pattern the tuner hot paths execute
+// allocates nothing.
+func TestNopTracerZeroAlloc(t *testing.T) {
+	tr := OrNop(nil)
+	if tr != Nop {
+		t.Fatal("OrNop(nil) != Nop")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s := tr.Start("phase1/sampling")
+		s.Add(1, 42)
+		s.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("no-op tracer allocates %v per span, want 0", allocs)
+	}
+}
+
+// BenchmarkNopTracer is the instrumentation-overhead floor: what every
+// traced phase costs when tracing is off.
+func BenchmarkNopTracer(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := Nop.Start("phase")
+		s.Add(1, 1)
+		s.End()
+	}
+}
+
+// BenchmarkTimelineSpan is the cost with tracing on (per span, not per
+// run — sessions open a handful of spans).
+func BenchmarkTimelineSpan(b *testing.B) {
+	tl := NewTimeline()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i%8192 == 0 { // bound the recorded-span memory at large b.N
+			tl = NewTimeline()
+		}
+		s := tl.Start("phase")
+		s.Add(1, 1)
+		s.End()
+	}
+}
+
+// BenchmarkHistogramObserve is the per-run metrics cost on the runner hot
+// path.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := newHistogram(DurationBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) / 997)
+	}
+}

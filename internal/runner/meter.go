@@ -3,25 +3,49 @@ package runner
 import (
 	"math"
 	"sync/atomic"
+	"time"
 
 	"locat/internal/conf"
 )
 
-// Tally accumulates execution accounting across any number of metered
+// Run kinds reported to RunObservers.
+const (
+	// KindApp is a direct full-application execution.
+	KindApp = "app"
+	// KindQuery is a single-query execution.
+	KindQuery = "query"
+	// KindBatch marks executions completed inside a RunBatch; their wall
+	// time is the batch wall amortized over its completed runs (per-run
+	// wall is not observable through a native batch path).
+	KindBatch = "batch"
+)
+
+// RunObserver receives one record per completed execution: the kind, the
+// host wall-clock seconds the call took (amortized for batch members) and
+// the simulated cluster seconds the run consumed. Implementations must be
+// safe for concurrent use — the batch pool completes runs on worker
+// goroutines.
+type RunObserver interface {
+	ObserveRun(kind string, wallSec, clusterSec float64)
+}
+
+// Tally accumulates execution accounting across any number of observed
 // runners — the machine-readable totals the benchmark harness emits
 // (cluster seconds consumed, runs executed) and the perf-regression gate
-// compares. Safe for concurrent use.
+// compares. Safe for concurrent use. Tally is itself a RunObserver, so it
+// composes with metrics sinks on the same Observed wrapper.
 type Tally struct {
 	runs    atomic.Int64
 	secBits atomic.Uint64 // float64 bits, CAS-accumulated
 }
 
-// add accumulates one execution.
-func (t *Tally) add(sec float64) {
+// ObserveRun accumulates one execution (wall time is ignored: the tally
+// tracks simulated cluster cost, not host time).
+func (t *Tally) ObserveRun(kind string, wallSec, clusterSec float64) {
 	t.runs.Add(1)
 	for {
 		old := t.secBits.Load()
-		next := math.Float64bits(math.Float64frombits(old) + sec)
+		next := math.Float64bits(math.Float64frombits(old) + clusterSec)
 		if t.secBits.CompareAndSwap(old, next) {
 			return
 		}
@@ -33,71 +57,101 @@ func (t *Tally) Snapshot() (runs int64, clusterSec float64) {
 	return t.runs.Load(), math.Float64frombits(t.secBits.Load())
 }
 
-// Meter wraps a backend and charges every execution (app and query runs;
-// not noiseless evaluations, which consume no cluster time) to a Tally.
-// Batches dispatch through the package RunBatch on the inner backend, so
-// native batch paths stay native.
-type Meter struct {
+// Observed wraps a backend and reports every execution (app and query
+// runs; not noiseless evaluations, which consume no cluster time) to a set
+// of RunObservers — a Tally for totals, a metrics sink for labeled
+// counters and duration histograms, or both. Batches dispatch through the
+// package RunBatch on the inner backend, so native batch paths stay
+// native. The wrapper adds no allocations per run beyond what the
+// observers themselves do (pinned by TestObservedZeroExtraAllocs).
+type Observed struct {
 	inner Runner
-	t     *Tally
+	obs   []RunObserver
 }
 
-// Metered wraps r, charging executions to t.
-func Metered(r Runner, t *Tally) *Meter { return &Meter{inner: r, t: t} }
+// Observe wraps r, reporting executions to every observer in obs.
+func Observe(r Runner, obs ...RunObserver) *Observed {
+	return &Observed{inner: r, obs: obs}
+}
 
-// Capabilities advertise a native batch (Meter's own RunBatch negotiates on
-// the inner backend), inheriting everything else.
-func (m *Meter) Capabilities() Capabilities {
+// Metered wraps r, charging executions to t — the common single-observer
+// case of Observe.
+func Metered(r Runner, t *Tally) *Observed { return Observe(r, t) }
+
+func (m *Observed) observe(kind string, wallSec, clusterSec float64) {
+	for _, o := range m.obs {
+		o.ObserveRun(kind, wallSec, clusterSec)
+	}
+}
+
+// Capabilities advertise a native batch (Observed's own RunBatch negotiates
+// on the inner backend), inheriting everything else.
+func (m *Observed) Capabilities() Capabilities {
 	caps := CapsOf(m.inner)
-	caps.Name = "metered(" + caps.Name + ")"
+	caps.Name = "observed(" + caps.Name + ")"
 	caps.NativeBatch = true
 	return caps
 }
 
 // Space returns the inner backend's configuration space.
-func (m *Meter) Space() *conf.Space { return m.inner.Space() }
+func (m *Observed) Space() *conf.Space { return m.inner.Space() }
 
 // ReserveRuns delegates index accounting.
-func (m *Meter) ReserveRuns(n int) uint64 { return m.inner.ReserveRuns(n) }
+func (m *Observed) ReserveRuns(n int) uint64 { return m.inner.ReserveRuns(n) }
 
-// RunApp executes and charges one application run.
-func (m *Meter) RunApp(app *Application, c conf.Config, dataGB float64) AppResult {
+// RunApp executes and reports one application run.
+func (m *Observed) RunApp(app *Application, c conf.Config, dataGB float64) AppResult {
+	start := time.Now()
 	res := m.inner.RunApp(app, c, dataGB)
-	m.t.add(res.Sec)
+	m.observe(KindApp, time.Since(start).Seconds(), res.Sec)
 	return res
 }
 
-// RunAppAt executes and charges one application run at a pinned index.
-func (m *Meter) RunAppAt(idx uint64, app *Application, c conf.Config, dataGB float64) AppResult {
+// RunAppAt executes and reports one application run at a pinned index.
+func (m *Observed) RunAppAt(idx uint64, app *Application, c conf.Config, dataGB float64) AppResult {
+	start := time.Now()
 	res := m.inner.RunAppAt(idx, app, c, dataGB)
-	m.t.add(res.Sec)
+	m.observe(KindApp, time.Since(start).Seconds(), res.Sec)
 	return res
 }
 
-// RunQuery executes and charges one single-query run.
-func (m *Meter) RunQuery(q Query, c conf.Config, dataGB float64) QueryResult {
+// RunQuery executes and reports one single-query run.
+func (m *Observed) RunQuery(q Query, c conf.Config, dataGB float64) QueryResult {
+	start := time.Now()
 	res := m.inner.RunQuery(q, c, dataGB)
-	m.t.add(res.Sec)
+	m.observe(KindQuery, time.Since(start).Seconds(), res.Sec)
 	return res
 }
 
 // RunBatch dispatches on the inner backend (native where available) and
-// charges the completed prefix.
-func (m *Meter) RunBatch(app *Application, cs []conf.Config, dataGB func(i int) float64, workers int, stop func() bool) ([]AppResult, int) {
+// reports the completed prefix, one observation per run under KindBatch
+// with the batch wall amortized across them.
+func (m *Observed) RunBatch(app *Application, cs []conf.Config, dataGB func(i int) float64, workers int, stop func() bool) ([]AppResult, int) {
+	start := time.Now()
 	results, done := RunBatch(m.inner, app, cs, dataGB, workers, stop)
+	wallEach := 0.0
+	if done > 0 {
+		wallEach = time.Since(start).Seconds() / float64(done)
+	}
 	for i := 0; i < done; i++ {
-		m.t.add(results[i].Sec)
+		m.observe(KindBatch, wallEach, results[i].Sec)
 	}
 	return results, done
 }
 
-// NoiselessAppTime delegates without charging: deterministic evaluations
+// NoiselessAppTime delegates without reporting: deterministic evaluations
 // consume no cluster time.
-func (m *Meter) NoiselessAppTime(app *Application, c conf.Config, dataGB float64) float64 {
+func (m *Observed) NoiselessAppTime(app *Application, c conf.Config, dataGB float64) float64 {
 	return m.inner.NoiselessAppTime(app, c, dataGB)
 }
 
+// Err surfaces the inner backend's sticky out-of-band failure, so BackendErr
+// sees through the wrapper.
+func (m *Observed) Err() error { return BackendErr(m.inner) }
+
 var (
-	_ BatchRunner = (*Meter)(nil)
-	_ Reporter    = (*Meter)(nil)
+	_ BatchRunner = (*Observed)(nil)
+	_ Reporter    = (*Observed)(nil)
+	_ Faulty      = (*Observed)(nil)
+	_ RunObserver = (*Tally)(nil)
 )

@@ -58,9 +58,16 @@ func (s *Service) History() ([]HistorySummary, error) {
 //	GET    /v1/jobs/{id}/result  the finished job's full result (409 while running)
 //	GET    /v1/jobs/{id}/conf    the tuned spark-defaults.conf as text/plain
 //	DELETE /v1/jobs/{id}      request cancellation
+//	GET    /v1/jobs/{id}/trace   the job's phase-span timeline
 //	GET    /v1/history        history-store summaries
 //	GET    /v1/history/{key}  full entries under one fingerprint key
-//	GET    /healthz           liveness + pool occupancy
+//	GET    /healthz           liveness + job census by state
+//	GET    /metrics           Prometheus text exposition
+//
+// Every request is timed into per-route latency histograms and counted by
+// route and status code; when the service has a logger, an access log line
+// is emitted per request (suppressed along with everything else when Logf
+// is nil).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 
@@ -170,14 +177,38 @@ func (s *Service) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, entries)
 	})
 
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		q, run, fin := s.Stats()
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		spans, err := s.Trace(id)
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
+		st, err := s.Status(id)
+		if err != nil {
+			httpError(w, http.StatusNotFound, err)
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]any{
-			"status": "ok", "queued": q, "running": run, "finished": fin,
+			"id": id, "state": st.State, "spans": spans,
 		})
 	})
 
-	return mux
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		st := s.Stats()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ok", "queued": st.Queued, "running": st.Running,
+			"finished": st.Finished(), "succeeded": st.Succeeded,
+			"failed": st.Failed, "cancelled": st.Cancelled,
+		})
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.cfg.Metrics.WritePrometheus(w)
+	})
+
+	return s.instrument(mux)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -1,0 +1,62 @@
+package service
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"locat/internal/obs"
+)
+
+// statusWriter captures the status code a handler writes (200 when the
+// handler never calls WriteHeader explicitly).
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps the API mux with request telemetry: per-route latency
+// histograms, request counters by route and status code, and an access-log
+// line per request. The route label is the ServeMux pattern that matched
+// (bounded cardinality — raw paths carry job IDs), with "unmatched" for
+// 404s. Access logging shares the service logger, so -quiet (nil Logf)
+// suppresses it.
+func (s *Service) instrument(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		mux.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		// ServeMux sets r.Pattern while matching; empty means no route.
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		s.cfg.Metrics.Histogram("locat_http_request_seconds",
+			"HTTP request latency by matched route.",
+			obs.DurationBuckets, "route", route).Observe(elapsed.Seconds())
+		s.cfg.Metrics.Counter("locat_http_requests_total",
+			"HTTP requests by matched route and status code.",
+			"route", route, "code", strconv.Itoa(status)).Inc()
+		s.logf("http %s %s -> %d (%.1f ms)",
+			r.Method, r.URL.Path, status, float64(elapsed.Microseconds())/1000)
+	})
+}

@@ -1,0 +1,61 @@
+package service
+
+import (
+	"locat/internal/obs"
+	"locat/internal/runner"
+)
+
+// serviceMetrics holds the pre-resolved metric series the service charges:
+// job-state gauges sampled from the live census at scrape time, queue-wait
+// and per-state job-duration histograms, and the shared per-run metrics
+// every observed session backend reports into.
+type serviceMetrics struct {
+	queueWait *obs.Histogram
+	succeeded *obs.Histogram
+	failed    *obs.Histogram
+	cancelled *obs.Histogram
+	runs      *runner.RunMetrics
+}
+
+func newServiceMetrics(r *obs.Registry, s *Service) *serviceMetrics {
+	for _, st := range []struct {
+		name string
+		get  func(Stats) int
+	}{
+		{string(StateQueued), func(st Stats) int { return st.Queued }},
+		{string(StateRunning), func(st Stats) int { return st.Running }},
+		{string(StateSucceeded), func(st Stats) int { return st.Succeeded }},
+		{string(StateFailed), func(st Stats) int { return st.Failed }},
+		{string(StateCancelled), func(st Stats) int { return st.Cancelled }},
+	} {
+		get := st.get
+		r.GaugeFunc("locat_jobs", "Jobs by lifecycle state.",
+			func() float64 { return float64(get(s.Stats())) }, "state", st.name)
+	}
+	jobSec := func(state string) *obs.Histogram {
+		return r.Histogram("locat_job_seconds",
+			"Wall-clock session duration of finished jobs.",
+			obs.DurationBuckets, "state", state)
+	}
+	return &serviceMetrics{
+		queueWait: r.Histogram("locat_job_queue_wait_seconds",
+			"Wall-clock time jobs spent queued before a worker picked them up.",
+			obs.DurationBuckets),
+		succeeded: jobSec(string(StateSucceeded)),
+		failed:    jobSec(string(StateFailed)),
+		cancelled: jobSec(string(StateCancelled)),
+		runs:      runner.NewRunMetrics(r),
+	}
+}
+
+// jobSeconds returns the duration histogram for a terminal state.
+func (m *serviceMetrics) jobSeconds(st State) *obs.Histogram {
+	switch st {
+	case StateFailed:
+		return m.failed
+	case StateCancelled:
+		return m.cancelled
+	default:
+		return m.succeeded
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"locat/internal/conf"
 	"locat/internal/core"
 	"locat/internal/dagp"
+	"locat/internal/obs"
 	"locat/internal/progress"
 	"locat/internal/runner"
 	"locat/internal/sparksim"
@@ -128,6 +129,11 @@ type JobResult struct {
 	// SparkConf is the tuned configuration rendered in spark-defaults.conf
 	// syntax.
 	SparkConf string `json:"spark_conf"`
+	// Runs and ClusterSec are the execution tally the job's observed backend
+	// accumulated: every run the session issued (full apps, single queries,
+	// batch members) and the simulated cluster seconds they consumed.
+	Runs       int64   `json:"runs"`
+	ClusterSec float64 `json:"cluster_sec"`
 }
 
 // JobStatus is the externally visible snapshot of a job.
@@ -155,6 +161,10 @@ type job struct {
 	finished  time.Time
 	cancelled atomic.Bool
 	done      chan struct{}
+	// timeline is the job's phase-span trace, set when the session starts.
+	// *obs.Timeline is internally synchronized, so the trace endpoint can
+	// snapshot it while the session is still appending spans.
+	timeline *obs.Timeline
 }
 
 // Config configures a Service.
@@ -180,6 +190,11 @@ type Config struct {
 	Backend string
 	// Logf, if non-nil, receives service and per-job progress lines.
 	Logf progress.Logf
+	// Metrics is the registry the service charges its telemetry to (job
+	// state gauges, queue-wait and job-duration histograms, per-run
+	// counters). Nil allocates a private registry; pass one to share it
+	// with other instrumented components or expose it over HTTP.
+	Metrics *obs.Registry
 }
 
 // Service is the concurrent tuning-session manager. Submit enqueues jobs
@@ -199,6 +214,8 @@ type Service struct {
 
 	queue chan *job
 	wg    sync.WaitGroup
+
+	metrics *serviceMetrics
 }
 
 // New starts a Service with cfg's worker pool.
@@ -215,6 +232,9 @@ func New(cfg Config) *Service {
 	if cfg.MaxPriorObs <= 0 {
 		cfg.MaxPriorObs = 48
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
 	s := &Service{
 		cfg:       cfg,
 		store:     cfg.Store,
@@ -222,12 +242,16 @@ func New(cfg Config) *Service {
 		factories: map[string]*runner.Factory{},
 		queue:     make(chan *job, cfg.QueueCap),
 	}
+	s.metrics = newServiceMetrics(cfg.Metrics, s)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s
 }
+
+// Metrics returns the registry the service reports into.
+func (s *Service) Metrics() *obs.Registry { return s.cfg.Metrics }
 
 // Store returns the service's history store.
 func (s *Service) Store() Store { return s.store }
@@ -379,21 +403,61 @@ func (s *Service) Cancel(id string) error {
 	return nil
 }
 
-// Stats reports the queue and pool occupancy.
-func (s *Service) Stats() (queued, running, finished int) {
+// Stats is the service's job census, broken out by lifecycle state.
+type Stats struct {
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Succeeded int `json:"succeeded"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+}
+
+// Finished is the number of jobs in any terminal state.
+func (st Stats) Finished() int { return st.Succeeded + st.Failed + st.Cancelled }
+
+// Stats reports the queue and pool occupancy and the terminal-state
+// breakdown.
+func (s *Service) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	var st Stats
 	for _, j := range s.jobs {
-		switch {
-		case j.state == StateQueued:
-			queued++
-		case j.state == StateRunning:
-			running++
-		case j.state.Terminal():
-			finished++
+		switch j.state {
+		case StateQueued:
+			st.Queued++
+		case StateRunning:
+			st.Running++
+		case StateSucceeded:
+			st.Succeeded++
+		case StateFailed:
+			st.Failed++
+		case StateCancelled:
+			st.Cancelled++
 		}
 	}
-	return
+	return st
+}
+
+// Trace returns the job's phase-span timeline: one record per pipeline
+// phase (sampling, QCSA, DAGP base selection, IICP, phase-2 search, GP
+// hyperparameter resamples), with wall time, simulated cluster seconds and
+// run counts. Open spans of a still-running job report Done=false with
+// their wall time so far. Queued jobs have an empty trace.
+func (s *Service) Trace(id string) ([]obs.SpanRecord, error) {
+	s.mu.RLock()
+	j, ok := s.jobs[id]
+	tl := (*obs.Timeline)(nil)
+	if ok {
+		tl = j.timeline
+	}
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("service: unknown job %q", id)
+	}
+	if tl == nil {
+		return []obs.SpanRecord{}, nil
+	}
+	return tl.Snapshot(), nil
 }
 
 // Close stops accepting submissions, cancels still-queued jobs and waits
@@ -446,7 +510,9 @@ func (s *Service) worker() {
 		}
 		j.state = StateRunning
 		j.started = time.Now()
+		j.timeline = obs.NewTimeline()
 		s.mu.Unlock()
+		s.metrics.queueWait.Observe(j.started.Sub(j.submitted).Seconds())
 		res, err := s.runJobSafe(j)
 		switch {
 		case errors.Is(err, core.ErrStopped):
@@ -469,7 +535,11 @@ func (s *Service) finish(j *job, st State, res *JobResult, err error) {
 	if err != nil {
 		j.err = err.Error()
 	}
+	started := j.started
 	s.mu.Unlock()
+	if !started.IsZero() {
+		s.metrics.jobSeconds(st).Observe(j.finished.Sub(started).Seconds())
+	}
 	close(j.done)
 	switch st {
 	case StateSucceeded:
@@ -510,10 +580,15 @@ func (s *Service) runJob(j *job) (*JobResult, error) {
 	// The stream key is the job ID: deterministic for a deterministic
 	// submission sequence, which is what record/replay of a whole service
 	// run requires.
-	run, err := f.New(cl, spec.Seed, j.id)
+	raw, err := f.New(cl, spec.Seed, j.id)
 	if err != nil {
 		return nil, err
 	}
+	// Every execution the session issues is charged to the job's tally and
+	// the service-wide run metrics; the wrapper is observational only, so
+	// replayed traces still match recorded ones bit for bit.
+	var tally runner.Tally
+	run := runner.Observe(raw, &tally, s.metrics.runs)
 	space := run.Space()
 
 	opts := core.DefaultOptions()
@@ -532,6 +607,7 @@ func (s *Service) runJob(j *job) (*JobResult, error) {
 	opts.UseDAGP = !spec.DisableDAGP
 	opts.Stop = j.cancelled.Load
 	opts.Logf = progress.Prefixed(s.cfg.Logf, "["+j.id+"] ")
+	opts.Tracer = j.timeline
 
 	if !spec.ColdStart && opts.UseDAGP {
 		prior, n := s.retrievePrior(j, space)
@@ -563,6 +639,7 @@ func (s *Service) runJob(j *job) (*JobResult, error) {
 		PriorObsUsed: rep.PriorObsUsed,
 		SparkConf:    sparkConfString(rep.Best),
 	}
+	res.Runs, res.ClusterSec = tally.Snapshot()
 	if rep.QCSA != nil {
 		res.SensitiveQueries = append([]string(nil), rep.QCSA.Sensitive...)
 	}

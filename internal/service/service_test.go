@@ -66,8 +66,8 @@ func TestConcurrentSubmitBoundedPool(t *testing.T) {
 				return
 			default:
 			}
-			if _, run, _ := s.Stats(); run > maxRunning {
-				maxRunning = run
+			if st := s.Stats(); st.Running > maxRunning {
+				maxRunning = st.Running
 			}
 			time.Sleep(time.Millisecond)
 		}
@@ -91,9 +91,9 @@ func TestConcurrentSubmitBoundedPool(t *testing.T) {
 	if maxRunning > workers {
 		t.Fatalf("observed %d concurrent sessions; pool bound is %d", maxRunning, workers)
 	}
-	q, run, fin := s.Stats()
-	if q != 0 || run != 0 || fin != jobs {
-		t.Fatalf("final stats queued=%d running=%d finished=%d", q, run, fin)
+	st := s.Stats()
+	if st.Queued != 0 || st.Running != 0 || st.Finished() != jobs {
+		t.Fatalf("final stats %+v", st)
 	}
 }
 
@@ -370,8 +370,8 @@ func TestConcurrentReadsUnderSubmit(t *testing.T) {
 	}
 	close(done)
 	wg.Wait()
-	q, r, f := s.Stats()
-	if q != 0 || r != 0 || f != len(all) {
-		t.Fatalf("stats after drain: queued=%d running=%d finished=%d", q, r, f)
+	st := s.Stats()
+	if st.Queued != 0 || st.Running != 0 || st.Finished() != len(all) {
+		t.Fatalf("stats after drain: %+v", st)
 	}
 }

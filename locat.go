@@ -41,6 +41,7 @@ import (
 	"locat/internal/baselines"
 	"locat/internal/conf"
 	"locat/internal/core"
+	"locat/internal/obs"
 	"locat/internal/progress"
 	"locat/internal/runner"
 	"locat/internal/sparksim"
@@ -136,8 +137,29 @@ type Result struct {
 	ImportantParams []string
 	// Elapsed is the wall-clock time of the session.
 	Elapsed time.Duration
+	// Phases is the session's timeline, one entry per pipeline phase in
+	// execution order (repeated GP hyperparameter resamples are merged into
+	// one entry): where the wall-clock time, the simulated cluster seconds
+	// and the runs went.
+	Phases []Phase
 
 	best conf.Config
+}
+
+// Phase is one pipeline phase's share of a tuning session: "phase1/sampling"
+// (or "phase1/warm-anchors" for warm starts), "qcsa/reduce",
+// "dagp/select-base", "iicp/select", "phase2/search", "gp/hyper-resample"
+// and "final/select".
+type Phase struct {
+	// Name identifies the phase.
+	Name string
+	// WallSeconds is the host wall-clock time the phase took.
+	WallSeconds float64
+	// ClusterSeconds is the simulated cluster time charged to the phase
+	// (zero for pure-compute phases like the QCSA reduction).
+	ClusterSeconds float64
+	// Runs is the number of executions the phase issued.
+	Runs int64
 }
 
 // SparkConf renders the tuned configuration in spark-defaults.conf syntax,
@@ -231,6 +253,8 @@ func Tune(o Options) (*Result, error) {
 	if !o.Quiet {
 		opts.Logf = progress.New(os.Stderr, "locat:")
 	}
+	timeline := obs.NewTimeline()
+	opts.Tracer = timeline
 
 	start := time.Now()
 	rep, err := core.New(run, app, opts).Tune(o.DataSizeGB)
@@ -252,6 +276,7 @@ func Tune(o Options) (*Result, error) {
 		WarmStarted:     rep.WarmStarted,
 		Runs:            rep.Evaluations(),
 		Elapsed:         time.Since(start),
+		Phases:          phasesOf(timeline.Snapshot()),
 	}
 	if rep.QCSA != nil {
 		res.SensitiveQueries = append([]string(nil), rep.QCSA.Sensitive...)
@@ -322,6 +347,22 @@ func CompareBaselines(o Options) ([]BaselineResult, error) {
 		return nil, fmt.Errorf("locat: closing backend: %w", err)
 	}
 	return out, nil
+}
+
+// phasesOf maps recorded spans onto the public phase timeline, merging
+// repeated spans by name.
+func phasesOf(spans []obs.SpanRecord) []Phase {
+	agg := obs.Aggregate(spans)
+	out := make([]Phase, 0, len(agg))
+	for _, sp := range agg {
+		out = append(out, Phase{
+			Name:           sp.Name,
+			WallSeconds:    sp.WallMS / 1000,
+			ClusterSeconds: sp.ClusterSec,
+			Runs:           sp.Runs,
+		})
+	}
+	return out
 }
 
 // paramsToMap converts a configuration vector to a name→value map.

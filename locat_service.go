@@ -169,6 +169,9 @@ func (s *Service) Result(id string) (*Result, error) {
 	if st.Started != nil && st.Finished != nil {
 		res.Elapsed = st.Finished.Sub(*st.Started)
 	}
+	if spans, err := s.svc.Trace(id); err == nil {
+		res.Phases = phasesOf(spans)
+	}
 	return res, nil
 }
 

@@ -43,6 +43,9 @@ func TestServiceFacade(t *testing.T) {
 	if resA.SparkConf() == "" {
 		t.Fatal("service result cannot render spark-defaults.conf")
 	}
+	if len(resA.Phases) == 0 {
+		t.Fatal("service result missing phase timeline")
+	}
 
 	// Neighboring-size job warm-starts from job A's cross-size history (the
 	// only entry that exists when it runs), and costs less than the same

@@ -42,6 +42,24 @@ func TestTunePublicAPI(t *testing.T) {
 	if res.Elapsed <= 0 {
 		t.Fatal("missing elapsed time")
 	}
+	if len(res.Phases) == 0 {
+		t.Fatal("missing phase timeline")
+	}
+	phases := map[string]Phase{}
+	var phaseCluster float64
+	for _, p := range res.Phases {
+		phases[p.Name] = p
+		phaseCluster += p.ClusterSeconds
+	}
+	for _, want := range []string{"phase1/sampling", "qcsa/reduce", "iicp/select", "phase2/search", "gp/hyper-resample", "final/select"} {
+		if _, ok := phases[want]; !ok {
+			t.Fatalf("phase timeline missing %q: %+v", want, res.Phases)
+		}
+	}
+	// Every simulated second of tuning overhead is charged to some phase.
+	if diff := phaseCluster - res.OverheadSeconds; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("phases account for %.3f cluster seconds; overhead is %.3f", phaseCluster, res.OverheadSeconds)
+	}
 }
 
 func TestTuneDefaults(t *testing.T) {

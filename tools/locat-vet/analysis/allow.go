@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AllowDirective is one parsed `//locat:allow <analyzer> <reason>` comment.
+// It suppresses findings of the named analyzer on the directive's own line
+// (trailing comment form) and on the line immediately below (standalone
+// comment form).
+type AllowDirective struct {
+	Pos      token.Pos
+	File     string
+	Line     int
+	Analyzer string
+	Reason   string
+}
+
+// Finding pairs a diagnostic with the analyzer that produced it, which the
+// suppression filter needs.
+type Finding struct {
+	Analyzer string
+	Diagnostic
+}
+
+const allowPrefix = "//locat:allow"
+
+// CollectAllows scans every comment of files for allow directives. Malformed
+// directives (missing analyzer name, missing reason, or naming an analyzer
+// not in known) are returned as findings of the pseudo-analyzer
+// "locatvet" so they fail the build instead of silently suppressing nothing.
+func CollectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) ([]AllowDirective, []Finding) {
+	var allows []AllowDirective
+	var malformed []Finding
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //locat:allowlist — not ours
+				}
+				fields := strings.Fields(rest)
+				pos := fset.Position(c.Pos())
+				switch {
+				case len(fields) == 0:
+					malformed = append(malformed, Finding{
+						Analyzer:   "locatvet",
+						Diagnostic: Diagnostic{Pos: c.Pos(), Message: "malformed //locat:allow: missing analyzer name and reason"},
+					})
+				case len(fields) == 1:
+					malformed = append(malformed, Finding{
+						Analyzer:   "locatvet",
+						Diagnostic: Diagnostic{Pos: c.Pos(), Message: "malformed //locat:allow " + fields[0] + ": a reason is required"},
+					})
+				case known != nil && !known[fields[0]]:
+					malformed = append(malformed, Finding{
+						Analyzer:   "locatvet",
+						Diagnostic: Diagnostic{Pos: c.Pos(), Message: "//locat:allow names unknown analyzer " + fields[0]},
+					})
+				default:
+					allows = append(allows, AllowDirective{
+						Pos:      c.Pos(),
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Analyzer: fields[0],
+						Reason:   strings.Join(fields[1:], " "),
+					})
+				}
+			}
+		}
+	}
+	return allows, malformed
+}
+
+// FilterAllowed drops findings suppressed by a directive on the same line or
+// the line directly above, and returns the survivors.
+func FilterAllowed(fset *token.FileSet, findings []Finding, allows []AllowDirective) []Finding {
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	covered := make(map[key]bool, 2*len(allows))
+	for _, a := range allows {
+		covered[key{a.File, a.Line, a.Analyzer}] = true
+		covered[key{a.File, a.Line + 1, a.Analyzer}] = true
+	}
+	var kept []Finding
+	for _, f := range findings {
+		pos := fset.Position(f.Pos)
+		if covered[key{pos.Filename, pos.Line, f.Analyzer}] {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept
+}

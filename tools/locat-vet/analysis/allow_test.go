@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestCollectAllows(t *testing.T) {
+	src := `package p
+
+func a() {
+	_ = 1 //locat:allow detrand benchmark helper, off the tuning path
+}
+
+func b() {
+	//locat:allow wallclock progress display only
+	_ = 2
+}
+`
+	fset, files := parseOne(t, src)
+	known := map[string]bool{"detrand": true, "wallclock": true}
+	allows, malformed := CollectAllows(fset, files, known)
+	if len(malformed) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", malformed)
+	}
+	if len(allows) != 2 {
+		t.Fatalf("got %d allows, want 2", len(allows))
+	}
+	if allows[0].Analyzer != "detrand" || !strings.Contains(allows[0].Reason, "benchmark helper") {
+		t.Errorf("allow[0] = %+v", allows[0])
+	}
+	if allows[1].Analyzer != "wallclock" || allows[1].Line != 8 {
+		t.Errorf("allow[1] = %+v", allows[1])
+	}
+}
+
+func TestMalformedAllows(t *testing.T) {
+	src := `package p
+
+func a() {
+	_ = 1 //locat:allow
+	_ = 2 //locat:allow detrand
+	_ = 3 //locat:allow nosuchanalyzer because reasons
+}
+`
+	fset, files := parseOne(t, src)
+	known := map[string]bool{"detrand": true}
+	allows, malformed := CollectAllows(fset, files, known)
+	if len(allows) != 0 {
+		t.Fatalf("malformed directives must not suppress anything, got %v", allows)
+	}
+	if len(malformed) != 3 {
+		t.Fatalf("got %d malformed findings, want 3: %v", len(malformed), malformed)
+	}
+	for i, want := range []string{"missing analyzer name", "a reason is required", "unknown analyzer"} {
+		if !strings.Contains(malformed[i].Message, want) {
+			t.Errorf("malformed[%d] = %q, want substring %q", i, malformed[i].Message, want)
+		}
+	}
+}
+
+func TestFilterAllowed(t *testing.T) {
+	src := `package p
+
+func a() {
+	_ = 1 //locat:allow detrand same-line suppression
+	_ = 2
+	_ = 3
+	//locat:allow detrand next-line suppression
+	_ = 4
+}
+`
+	fset, files := parseOne(t, src)
+	allows, _ := CollectAllows(fset, files, map[string]bool{"detrand": true})
+
+	file := fset.File(files[0].Pos())
+	at := func(line int) token.Pos { return file.LineStart(line) }
+
+	findings := []Finding{
+		{Analyzer: "detrand", Diagnostic: Diagnostic{Pos: at(4), Message: "on directive line"}},
+		{Analyzer: "detrand", Diagnostic: Diagnostic{Pos: at(6), Message: "no directive"}},
+		{Analyzer: "wallclock", Diagnostic: Diagnostic{Pos: at(4), Message: "wrong analyzer"}},
+		{Analyzer: "detrand", Diagnostic: Diagnostic{Pos: at(8), Message: "below directive"}},
+	}
+	kept := FilterAllowed(fset, findings, allows)
+	if len(kept) != 2 {
+		t.Fatalf("got %d findings after filter, want 2: %v", len(kept), kept)
+	}
+	if kept[0].Message != "no directive" || kept[1].Message != "wrong analyzer" {
+		t.Errorf("kept = %v", kept)
+	}
+}
+
+func TestIsDeterministic(t *testing.T) {
+	cases := map[string]bool{
+		"locat/internal/gp":        true,
+		"locat/internal/gp_test":   true,
+		"locat/internal/sparksim":  true,
+		"locat/internal/obs":       false,
+		"locat/internal/service":   false,
+		"locat/internal/runner":    false,
+		"gp":                       true,
+		"locat/internal/progress":  false,
+		"locat/internal/baselines": true,
+	}
+	for path, want := range cases {
+		if got := IsDeterministic(path); got != want {
+			t.Errorf("IsDeterministic(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis API surface that locat-vet's checkers
+// need. The shapes (Analyzer, Pass, Diagnostic) deliberately mirror the
+// upstream package so the analyzers can be ported to the real multichecker
+// verbatim if an external dependency ever becomes acceptable; today the
+// main module and this tools module both build with zero requirements,
+// which keeps `go vet -vettool=locat-vet` hermetic.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"strings"
+)
+
+// Analyzer describes one invariant checker of the suite.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// `//locat:allow <name> <reason>` suppression directives.
+	Name string
+	// Doc is the one-paragraph description printed by `locat-vet help`.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report receives every finding. The driver fills it in.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// NewInfo returns a types.Info with all the maps the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Callee resolves the static callee of call, or nil for indirect calls,
+// conversions, and builtins. Method values and promoted (embedded) methods
+// resolve to the declared *types.Func.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Qualified identifier: pkg.Func.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// PkgFunc reports whether fn is a package-level function (no receiver)
+// declared in the package with the given import path.
+func PkgFunc(fn *types.Func, pkgPath string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// MethodRecvNamed returns the named type of fn's receiver (unwrapping a
+// pointer), or nil when fn is not a method.
+func MethodRecvNamed(fn *types.Func) *types.Named {
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// DeterministicPackages is the set of package basenames whose code must
+// reproduce bit-for-bit across runs and worker counts: parallel sampling,
+// multi-chain MCMC, and batched surrogate math all promise serial-identical
+// results, so any ambient source of nondeterminism (global rngs, wall
+// clocks, map iteration order) is banned there outright.
+var DeterministicPackages = map[string]bool{
+	"sparksim":  true,
+	"gp":        true,
+	"bo":        true,
+	"dagp":      true,
+	"core":      true,
+	"qcsa":      true,
+	"iicp":      true,
+	"kpca":      true,
+	"mat":       true,
+	"stat":      true,
+	"baselines": true,
+}
+
+// IsDeterministic reports whether pkgPath names a package under the
+// determinism contract. External test packages (`<pkg>_test`) inherit the
+// classification of the package they test.
+func IsDeterministic(pkgPath string) bool {
+	base := path.Base(pkgPath)
+	base = strings.TrimSuffix(base, "_test")
+	return DeterministicPackages[base]
+}
+
+// ExprString renders a (selector chain of a) lock or span receiver
+// expression compactly for diagnostics and event matching: `s.mu.Lock()`
+// yields "s.mu". Unrenderable expressions collapse to a positional key so
+// distinct receivers never alias.
+func ExprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return ExprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return ExprString(e.X) + "[" + ExprString(e.Index) + "]"
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.CallExpr:
+		return ExprString(e.Fun) + "()"
+	case *ast.StarExpr:
+		return "*" + ExprString(e.X)
+	case *ast.UnaryExpr:
+		return e.Op.String() + ExprString(e.X)
+	default:
+		return fmt.Sprintf("expr@%d", e.Pos())
+	}
+}

@@ -1,0 +1,210 @@
+// Package analysistest is a small analogue of
+// golang.org/x/tools/go/analysis/analysistest: it loads a fixture package
+// from a testdata/src tree, runs one analyzer over it through the same
+// driver path CI uses (including //locat:allow suppression), and matches
+// reported findings against `// want "regexp"` comments in the fixtures.
+//
+// Fixture packages are type-checked with the source importer, so they may
+// import standard-library packages (sync, time, math/rand, sort) but
+// nothing outside GOROOT.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"locat/tools/locat-vet/analysis"
+	"locat/tools/locat-vet/unitchecker"
+)
+
+// One source importer per test process: it type-checks stdlib dependencies
+// from source, which is slow enough to be worth sharing across fixtures.
+var (
+	fsetOnce sync.Once
+	fset     *token.FileSet
+	imp      types.Importer
+)
+
+func sharedImporter() (*token.FileSet, types.Importer) {
+	fsetOnce.Do(func() {
+		fset = token.NewFileSet()
+		imp = importer.ForCompiler(fset, "source", nil)
+	})
+	return fset, imp
+}
+
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	met  bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)`)
+
+// Run loads testdata/src/<pkgPath> relative to the test's working
+// directory, applies the analyzer, and reports mismatches between findings
+// and `// want` expectations on t.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+
+	fset, imp := sharedImporter()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixtures in %s", dir)
+	}
+
+	tc := &types.Config{Importer: imp}
+	info := analysis.NewInfo()
+	pkg, err := tc.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", pkgPath, err)
+	}
+
+	findings := unitchecker.RunAnalyzers(fset, files, pkg, info, []*analysis.Analyzer{a})
+
+	expects := parseExpectations(t, fset, files)
+
+	for _, f := range findings {
+		pos := fset.Position(f.Pos)
+		matched := false
+		for _, e := range expects {
+			if e.met || e.file != pos.Filename || e.line != pos.Line {
+				continue
+			}
+			if e.rx.MatchString(f.Message) {
+				e.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected finding [%s]: %s", pos, f.Analyzer, f.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.met {
+			t.Errorf("%s:%d: expected finding matching %q, got none", e.file, e.line, e.rx)
+		}
+	}
+}
+
+// parseExpectations extracts `// want "rx" "rx"...` comments. The
+// expectation applies to the line the comment sits on.
+func parseExpectations(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range splitQuoted(t, m[1]) {
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// splitQuoted parses a sequence of Go-quoted or backquoted strings.
+func splitQuoted(t *testing.T, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte
+		switch s[0] {
+		case '"', '`':
+			quote = s[0]
+		default:
+			t.Fatalf("want patterns must be quoted, got %q", s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			t.Fatalf("unterminated want pattern in %q", s)
+		}
+		out = append(out, s[1:1+end])
+		s = strings.TrimSpace(s[2+end:])
+	}
+	return out
+}
+
+// MustFail asserts the analyzer reports at least one finding on the given
+// fixture package when the //locat:allow filter is bypassed — the
+// "analyzer actually catches the seeded violation" guard demanded by the
+// acceptance criteria, immune to fixtures accidentally matching nothing.
+func MustFail(t *testing.T, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset, imp := sharedImporter()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	tc := &types.Config{Importer: imp}
+	info := analysis.NewInfo()
+	pkg, err := tc.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", pkgPath, err)
+	}
+	n := 0
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(analysis.Diagnostic) { n++ },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer error: %v", err)
+	}
+	if n == 0 {
+		t.Fatalf("analyzer %s reported nothing on %s; the seeded violation went undetected", a.Name, pkgPath)
+	}
+}

@@ -1,0 +1,10 @@
+// Package core exercises //locat:allow suppression for detmap findings.
+package core
+
+func debugDump(m map[string]int) []string {
+	var lines []string
+	for k := range m {
+		lines = append(lines, k) //locat:allow detmap debug output, ordering is cosmetic only
+	}
+	return lines
+}

@@ -1,0 +1,11 @@
+// Package service is outside the deterministic set: HTTP handlers may
+// enumerate maps in any order.
+package service
+
+func jobIDs(jobs map[string]int) []string {
+	var ids []string
+	for id := range jobs {
+		ids = append(ids, id)
+	}
+	return ids
+}

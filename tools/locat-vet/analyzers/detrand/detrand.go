@@ -1,0 +1,99 @@
+// Package detrand forbids ambient randomness in deterministic packages.
+//
+// The tuner's reproducibility contract (parallel sampling, multi-chain
+// MCMC, batched surrogate math all bit-identical to serial) only holds if
+// every random draw flows from an injected *rand.Rand or a splitmix64
+// stream derived from the run seed. The package-level math/rand functions
+// share one mutable global source, so any call to them breaks replay; a
+// source seeded from the wall clock breaks it even when local.
+package detrand
+
+import (
+	"go/ast"
+	"go/token"
+
+	"locat/tools/locat-vet/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "forbids global math/rand functions and time-seeded sources in deterministic packages; " +
+		"inject a *rand.Rand or derive a splitmix64 stream instead",
+	Run: run,
+}
+
+// Constructors are fine: they produce an explicitly seeded local source.
+var allowedCtors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsDeterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			isRand := analysis.PkgFunc(fn, "math/rand") || analysis.PkgFunc(fn, "math/rand/v2")
+			if !isRand {
+				return true
+			}
+			name := fn.Name()
+			if !allowedCtors[name] {
+				pass.Reportf(call.Pos(),
+					"call to global %s.%s shares a mutable package-level source; deterministic packages must draw from an injected *rand.Rand or a seed-derived splitmix64 stream",
+					fn.Pkg().Path(), name)
+				return true
+			}
+			// Seed-taking constructor: the seed must not come from the wall
+			// clock. rand.New is skipped: its source argument is itself a
+			// constructor call that gets its own check, and reporting both
+			// would double up at the same position.
+			if name == "New" {
+				return true
+			}
+			if wallPos := wallClockArg(pass, call); wallPos.IsValid() {
+				pass.Reportf(wallPos,
+					"%s.%s seeded from the wall clock is irreproducible; derive the seed from the run's configuration seed",
+					fn.Pkg().Path(), name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// wallClockArg returns the position of a time.Now call feeding the
+// constructor's arguments, or NoPos.
+func wallClockArg(pass *analysis.Pass, call *ast.CallExpr) token.Pos {
+	pos := token.NoPos
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(pass.TypesInfo, inner)
+			if fn != nil && analysis.PkgFunc(fn, "time") && fn.Name() == "Now" {
+				pos = inner.Pos()
+				return false
+			}
+			return true
+		})
+		if pos.IsValid() {
+			break
+		}
+	}
+	return pos
+}

@@ -1,0 +1,26 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"locat/tools/locat-vet/analysistest"
+	"locat/tools/locat-vet/analyzers/detrand"
+)
+
+func TestDeterministicPackage(t *testing.T) {
+	analysistest.Run(t, detrand.Analyzer, "gp")
+}
+
+func TestNonDeterministicPackageIgnored(t *testing.T) {
+	analysistest.Run(t, detrand.Analyzer, "obs")
+}
+
+func TestAllowDirective(t *testing.T) {
+	analysistest.Run(t, detrand.Analyzer, "stat")
+}
+
+// TestCatchesSeededViolation proves the analyzer fails a tree with a real
+// violation: a fixture that reports nothing here means the check is dead.
+func TestCatchesSeededViolation(t *testing.T) {
+	analysistest.MustFail(t, detrand.Analyzer, "gp")
+}

@@ -1,0 +1,29 @@
+// Package gp is a fixture named after a deterministic package: detrand
+// must flag every ambient-randomness use here.
+package gp
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalDraws() float64 {
+	x := rand.Float64()                // want `global math/rand.Float64`
+	n := rand.Intn(10)                 // want `global math/rand.Intn`
+	rand.Shuffle(n, func(i, j int) {}) // want `global math/rand.Shuffle`
+	rand.Seed(42)                      // want `global math/rand.Seed`
+	return x + float64(n)
+}
+
+func timeSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `seeded from the wall clock`
+}
+
+// Injected sources are the sanctioned pattern: no findings below.
+func injected(rng *rand.Rand) float64 {
+	return rng.Float64() + float64(rng.Intn(3))
+}
+
+func seededConstructor(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

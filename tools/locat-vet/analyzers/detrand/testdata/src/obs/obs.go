@@ -1,0 +1,13 @@
+// Package obs is outside the deterministic set: the same constructs that
+// fail in gp must pass unremarked here.
+package obs
+
+import (
+	"math/rand"
+	"time"
+)
+
+func jitter() float64 {
+	_ = rand.New(rand.NewSource(time.Now().UnixNano()))
+	return rand.Float64()
+}

@@ -1,0 +1,15 @@
+// Package stat exercises the //locat:allow suppression path inside a
+// deterministic package: every violation below carries a directive, so the
+// analyzer must stay silent.
+package stat
+
+import "math/rand"
+
+func trailing() float64 {
+	return rand.Float64() //locat:allow detrand fixture demonstrates trailing-comment suppression
+}
+
+func preceding() int {
+	//locat:allow detrand fixture demonstrates preceding-line suppression
+	return rand.Intn(7)
+}

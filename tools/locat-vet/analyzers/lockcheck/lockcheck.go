@@ -1,0 +1,245 @@
+// Package lockcheck guards the tuner's mutex discipline, in particular the
+// internal/service read/write-lock split: every sync.Mutex/RWMutex Lock
+// must be paired with an Unlock on every path out of the function, early
+// returns must not leak a held lock, and nothing that can block —
+// channel operations, Runner executions, network calls, sleeps — may run
+// inside a critical section.
+//
+// The analysis is lexical (statement order approximates execution order),
+// which catches the overwhelmingly common shapes — forgotten unlock,
+// early return before the unlock, blocking call under a held or deferred
+// lock — without a full CFG. Intentional exceptions carry a
+// `//locat:allow lockcheck <reason>` directive.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+
+	"locat/tools/locat-vet/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc: "flags Lock without a paired Unlock on every path, returns while a lock may be held, " +
+		"and blocking operations (channels, Runner.RunApp*, network, sleeps) inside critical sections",
+	Run: run,
+}
+
+type eventKind int
+
+const (
+	evLock eventKind = iota
+	evUnlock
+	evDeferUnlock
+	evReturn
+	evBlocking
+)
+
+type event struct {
+	kind eventKind
+	pos  token.Pos
+	recv string // lock receiver, e.g. "s.mu"; "" for return/blocking events
+	read bool   // RLock/RUnlock variant
+	desc string // blocking operation description
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkBody(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				if n.Body != nil {
+					checkBody(pass, n.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	events := collect(pass, body)
+
+	// Group lock/unlock events per (receiver, variant) stream; returns and
+	// blocking operations apply to every stream.
+	type stream struct {
+		recv string
+		read bool
+	}
+	streams := make(map[stream]bool)
+	for _, e := range events {
+		if e.kind == evLock {
+			streams[stream{e.recv, e.read}] = true
+		}
+	}
+
+	// One lexical simulation per stream: a held counter tracks explicit
+	// Lock/Unlock pairs in statement order, while deferred unlocks are
+	// credited only where they actually fire — at returns and at function
+	// exit — so a critical section closed explicitly earlier in the
+	// function is not confused with a later defer-held one.
+	for s := range streams {
+		verb := "Lock"
+		if s.read {
+			verb = "RLock"
+		}
+
+		held, deferredUnlocks := 0, 0
+		var lastLockPos token.Pos
+		for _, e := range events {
+			switch e.kind {
+			case evLock:
+				if e.recv == s.recv && e.read == s.read {
+					held++
+					lastLockPos = e.pos
+				}
+			case evUnlock:
+				if e.recv == s.recv && e.read == s.read && held > 0 {
+					held--
+				}
+			case evDeferUnlock:
+				if e.recv == s.recv && e.read == s.read {
+					deferredUnlocks++
+				}
+			case evReturn:
+				if held-deferredUnlocks > 0 {
+					pass.Reportf(e.pos,
+						"return while %s.%s() may still be held; unlock before returning or defer the unlock",
+						s.recv, verb)
+					held = deferredUnlocks // one report per leak site, not per later return
+				}
+			case evBlocking:
+				if held > 0 {
+					pass.Reportf(e.pos,
+						"%s while %s.%s() is held; move it outside the critical section",
+						e.desc, s.recv, verb)
+				}
+			}
+		}
+		if held-deferredUnlocks > 0 {
+			pass.Reportf(lastLockPos,
+				"%s.%s() is never unlocked in this function; pair it with an unlock or defer one",
+				s.recv, verb)
+		}
+	}
+}
+
+// collect walks body in source order, recording lock events, returns, and
+// blocking operations. Nested function literals are skipped (they are
+// analyzed as their own bodies) except inside defer statements, where a
+// closure wrapping an Unlock is the common idiom.
+func collect(pass *analysis.Pass, body *ast.BlockStmt) []event {
+	var events []event
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			if recv, name, ok := lockMethod(pass, n.Call); ok && (name == "Unlock" || name == "RUnlock") {
+				events = append(events, event{kind: evDeferUnlock, pos: n.Pos(), recv: recv, read: name == "RUnlock"})
+				return false
+			}
+			// defer func() { ... mu.Unlock() ... }()
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						if recv, name, ok := lockMethod(pass, call); ok && (name == "Unlock" || name == "RUnlock") {
+							events = append(events, event{kind: evDeferUnlock, pos: n.Pos(), recv: recv, read: name == "RUnlock"})
+						}
+					}
+					return true
+				})
+				return false
+			}
+			return true
+		case *ast.ReturnStmt:
+			events = append(events, event{kind: evReturn, pos: n.Pos()})
+		case *ast.SendStmt:
+			events = append(events, event{kind: evBlocking, pos: n.Pos(), desc: "channel send"})
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				events = append(events, event{kind: evBlocking, pos: n.Pos(), desc: "channel receive"})
+			}
+		case *ast.SelectStmt:
+			events = append(events, event{kind: evBlocking, pos: n.Pos(), desc: "select"})
+			return true
+		case *ast.CallExpr:
+			if recv, name, ok := lockMethod(pass, n); ok {
+				switch name {
+				case "Lock", "RLock":
+					events = append(events, event{kind: evLock, pos: n.Pos(), recv: recv, read: name == "RLock"})
+				case "Unlock", "RUnlock":
+					events = append(events, event{kind: evUnlock, pos: n.Pos(), recv: recv, read: name == "RUnlock"})
+				}
+				return true
+			}
+			if desc, ok := blockingCall(pass, n); ok {
+				events = append(events, event{kind: evBlocking, pos: n.Pos(), desc: desc})
+			}
+		}
+		return true
+	})
+	return events
+}
+
+// lockMethod reports whether call is a sync.Mutex/RWMutex method call
+// (possibly through an embedded field) and returns the rendered receiver.
+func lockMethod(pass *analysis.Pass, call *ast.CallExpr) (recv, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn := analysis.Callee(pass.TypesInfo, call)
+	named := analysis.MethodRecvNamed(fn)
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	tn := named.Obj().Name()
+	if tn != "Mutex" && tn != "RWMutex" {
+		return "", "", false
+	}
+	return analysis.ExprString(sel.X), fn.Name(), true
+}
+
+// runnerBlocking names methods/functions that execute workload runs — by
+// contract they may take (simulated or real) minutes.
+var runnerBlocking = map[string]bool{
+	"RunApp":     true,
+	"RunAppAt":   true,
+	"RunQuery":   true,
+	"RunQueryAt": true,
+	"RunBatch":   true,
+}
+
+// blockingCall classifies calls that can stall a critical section.
+func blockingCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return "", false
+	}
+	name := fn.Name()
+	if runnerBlocking[name] {
+		return "Runner execution " + name, true
+	}
+	if pkg := fn.Pkg(); pkg != nil {
+		switch pkg.Path() {
+		case "time":
+			if name == "Sleep" {
+				return "time.Sleep", true
+			}
+		case "net/http", "net":
+			return pkg.Path() + " call " + name, true
+		case "sync":
+			if name == "Wait" { // WaitGroup.Wait / Cond.Wait
+				return "sync wait", true
+			}
+		}
+	}
+	return "", false
+}

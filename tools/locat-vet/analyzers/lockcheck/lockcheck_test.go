@@ -1,0 +1,24 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"locat/tools/locat-vet/analysistest"
+	"locat/tools/locat-vet/analyzers/lockcheck"
+)
+
+func TestViolations(t *testing.T) {
+	analysistest.Run(t, lockcheck.Analyzer, "service")
+}
+
+func TestDiscipline(t *testing.T) {
+	analysistest.Run(t, lockcheck.Analyzer, "clean")
+}
+
+func TestAllowDirective(t *testing.T) {
+	analysistest.Run(t, lockcheck.Analyzer, "allowed")
+}
+
+func TestCatchesSeededViolation(t *testing.T) {
+	analysistest.MustFail(t, lockcheck.Analyzer, "service")
+}

@@ -1,0 +1,16 @@
+// Package allowed exercises //locat:allow suppression for lockcheck.
+package allowed
+
+import "sync"
+
+type notifier struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (n *notifier) signal(v int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	//locat:allow lockcheck channel is buffered and drained by a dedicated goroutine, send cannot block
+	n.ch <- v
+}

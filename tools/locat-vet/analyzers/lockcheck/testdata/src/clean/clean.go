@@ -1,0 +1,57 @@
+// Package clean shows the sanctioned lock shapes: none may be flagged.
+package clean
+
+import "sync"
+
+type store struct {
+	mu   sync.RWMutex
+	data map[string]int
+	ch   chan int
+}
+
+// Deferred unlock with no blocking work.
+func (s *store) get(k string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.data[k]
+}
+
+// Explicit unlock on both paths.
+func (s *store) lookup(k string) (int, bool) {
+	s.mu.RLock()
+	v, ok := s.data[k]
+	if !ok {
+		s.mu.RUnlock()
+		return 0, false
+	}
+	s.mu.RUnlock()
+	return v, true
+}
+
+// Unlock wrapped in a deferred closure.
+func (s *store) update(k string, v int) {
+	s.mu.Lock()
+	defer func() {
+		s.data[k] = v
+		s.mu.Unlock()
+	}()
+}
+
+// Blocking work after the critical section closes is fine.
+func (s *store) publish(k string) {
+	s.mu.Lock()
+	v := s.data[k]
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// Write lock and read lock used in sequence, both balanced.
+func (s *store) bump(k string) int {
+	s.mu.Lock()
+	s.data[k]++
+	s.mu.Unlock()
+	s.mu.RLock()
+	v := s.data[k]
+	s.mu.RUnlock()
+	return v
+}

@@ -1,0 +1,72 @@
+// Package service seeds every lock-discipline violation lockcheck knows:
+// missing unlocks, early returns under a held lock, and blocking
+// operations inside critical sections.
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+type runner struct{}
+
+func (runner) RunApp(cfg []float64) float64 { return 0 }
+
+type state struct {
+	mu   sync.RWMutex
+	jobs map[string]int
+	ch   chan int
+	r    runner
+}
+
+// Lock with no unlock anywhere.
+func (s *state) leak() {
+	s.mu.Lock() // want `never unlocked`
+	s.jobs["x"] = 1
+}
+
+// Early return leaves the lock held on the error path.
+func (s *state) earlyReturn(id string) (int, error) {
+	s.mu.Lock()
+	v, ok := s.jobs[id]
+	if !ok {
+		return 0, errNotFound // want `may still be held`
+	}
+	s.mu.Unlock()
+	return v, nil
+}
+
+// Blocking operations inside an explicit critical section.
+func (s *state) blockingHeld() {
+	s.mu.Lock()
+	s.ch <- 1 // want `channel send while s.mu.Lock\(\) is held`
+	s.mu.Unlock()
+}
+
+// Runner executions take (simulated) minutes; never under a lock.
+func (s *state) runHeld(cfg []float64) float64 {
+	s.mu.Lock()
+	cost := s.r.RunApp(cfg) // want `Runner execution RunApp while s.mu.Lock\(\) is held`
+	s.mu.Unlock()
+	return cost
+}
+
+// With the unlock deferred, the lock is held for the whole function: the
+// sleep stalls every waiter.
+func (s *state) sleepDeferred() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while s.mu.Lock\(\) is held`
+}
+
+// Read locks are tracked as their own stream.
+func (s *state) readLeak(id string) int {
+	s.mu.RLock()
+	return s.jobs[id] // want `return while s.mu.RLock\(\) may still be held`
+}
+
+var errNotFound = errorString("not found")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

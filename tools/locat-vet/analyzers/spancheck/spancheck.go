@@ -1,0 +1,231 @@
+// Package spancheck enforces that every tracing span is ended on every
+// path out of the function that started it.
+//
+// The phase cluster-second accounting (obs.Tracer / obs.Timeline) only
+// adds up when spans close: a leaked span reports an open phase forever,
+// skews the /v1/jobs/{id}/trace endpoint, and silently breaks the
+// "phase sums equal OverheadSec" pin. The check is structural: a value
+// returned by a method named Start whose type has an End() method must be
+// ended via `defer s.End()`, an `s.End()` preceding every later return,
+// or by returning the span itself (ownership transfer).
+package spancheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"locat/tools/locat-vet/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "spancheck",
+	Doc: "every Tracer.Start/Timeline.Start span must be End()ed on all return paths " +
+		"so phase cluster-second accounting never leaks an open span",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkBody(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				if n.Body != nil {
+					checkBody(pass, n.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type startEvent struct {
+	obj  types.Object
+	name string
+	pos  token.Pos
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	var starts []startEvent
+	ends := map[types.Object][]token.Pos{} // s.End() call sites
+	deferred := map[types.Object]bool{}    // defer s.End() (directly or in a deferred closure)
+	var returns []*ast.ReturnStmt
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Nested literals are their own scope, except that End calls
+			// inside them still close the span (e.g. goroutine-joined or
+			// deferred helper closures); record those but nothing else.
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if obj := endCallee(pass, call); obj != nil {
+						ends[obj] = append(ends[obj], call.Pos())
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.DeferStmt:
+			if obj := endCallee(pass, n.Call); obj != nil {
+				deferred[obj] = true
+				return false
+			}
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						if obj := endCallee(pass, call); obj != nil {
+							deferred[obj] = true
+						}
+					}
+					return true
+				})
+				return false
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if ev, ok := startAssign(pass, n); ok {
+					starts = append(starts, ev)
+				}
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, n)
+		case *ast.CallExpr:
+			if obj := endCallee(pass, n); obj != nil {
+				ends[obj] = append(ends[obj], n.Pos())
+			}
+		}
+		return true
+	})
+
+	for _, st := range starts {
+		if deferred[st.obj] {
+			continue
+		}
+		covered := func(upto token.Pos) bool {
+			for _, e := range ends[st.obj] {
+				if e > st.pos && e < upto {
+					return true
+				}
+			}
+			return false
+		}
+		leaked := false
+		returnsAfter := 0
+		for _, ret := range returns {
+			if ret.Pos() <= st.pos {
+				continue
+			}
+			returnsAfter++
+			if covered(ret.Pos()) {
+				continue
+			}
+			if transfersSpan(pass, ret, st.obj) {
+				continue
+			}
+			pass.Reportf(ret.Pos(),
+				"return may leak span %s started here: %s; End() it before returning or defer %s.End()",
+				st.name, pass.Fset.Position(st.pos).String(), st.name)
+			leaked = true
+		}
+		// With no return after the start, control falls off the end of the
+		// function: the span must have been ended (or handed to a deferred
+		// closure) by then. Functions ending in a return were already
+		// checked per-path above.
+		if !leaked && returnsAfter == 0 && !covered(body.End()) {
+			pass.Reportf(st.pos,
+				"span %s is started but never ended in this function; phase accounting will leak an open span",
+				st.name)
+		}
+	}
+}
+
+// startAssign recognizes `s := x.Start(...)` / `s = x.Start(...)` where the
+// result type has an End() method in its method set.
+func startAssign(pass *analysis.Pass, assign *ast.AssignStmt) (startEvent, bool) {
+	id, ok := ast.Unparen(assign.Lhs[0]).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return startEvent{}, false
+	}
+	call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return startEvent{}, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Start" {
+		return startEvent{}, false
+	}
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || !hasEndMethod(tv.Type) {
+		return startEvent{}, false
+	}
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[id]
+	}
+	if obj == nil {
+		return startEvent{}, false
+	}
+	return startEvent{obj: obj, name: id.Name, pos: assign.Pos()}, true
+}
+
+// endCallee returns the span object when call is `s.End()` on an
+// identifier, or nil.
+func endCallee(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" || len(call.Args) != 0 {
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// hasEndMethod reports whether t's method set contains End() with no
+// parameters and no results — the span-shaped contract. This keeps the
+// check structural: any tracer implementation qualifies, while
+// exec.Cmd.Start (returns error) and friends do not.
+func hasEndMethod(t types.Type) bool {
+	if tuple, ok := t.(*types.Tuple); ok {
+		if tuple.Len() != 1 {
+			return false
+		}
+		t = tuple.At(0).Type()
+	}
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		fn, ok := ms.At(i).Obj().(*types.Func)
+		if !ok || fn.Name() != "End" {
+			continue
+		}
+		sig := fn.Type().(*types.Signature)
+		return sig.Params().Len() == 0 && sig.Results().Len() == 0
+	}
+	return false
+}
+
+// transfersSpan reports whether ret returns the span object itself,
+// transferring End responsibility to the caller.
+func transfersSpan(pass *analysis.Pass, ret *ast.ReturnStmt, obj types.Object) bool {
+	for _, res := range ret.Results {
+		found := false
+		ast.Inspect(res, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				found = true
+				return false
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,24 @@
+package spancheck_test
+
+import (
+	"testing"
+
+	"locat/tools/locat-vet/analysistest"
+	"locat/tools/locat-vet/analyzers/spancheck"
+)
+
+func TestViolations(t *testing.T) {
+	analysistest.Run(t, spancheck.Analyzer, "tuner")
+}
+
+func TestDiscipline(t *testing.T) {
+	analysistest.Run(t, spancheck.Analyzer, "clean")
+}
+
+func TestAllowDirective(t *testing.T) {
+	analysistest.Run(t, spancheck.Analyzer, "allowed")
+}
+
+func TestCatchesSeededViolation(t *testing.T) {
+	analysistest.MustFail(t, spancheck.Analyzer, "tuner")
+}

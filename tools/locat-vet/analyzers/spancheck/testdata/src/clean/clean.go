@@ -1,0 +1,78 @@
+// Package clean shows the sanctioned span shapes: none may be flagged.
+package clean
+
+type Span interface {
+	Add(runs int64, clusterSec float64)
+	End()
+}
+
+type Tracer interface {
+	Start(name string) Span
+}
+
+// Deferred end covers every path.
+func deferred(tr Tracer, fail bool) error {
+	sp := tr.Start("phase1/sampling")
+	defer sp.End()
+	if fail {
+		return errFailed
+	}
+	return nil
+}
+
+// Explicit end before each return.
+func explicit(tr Tracer, fail bool) error {
+	sp := tr.Start("phase2/search")
+	if fail {
+		sp.End()
+		return errFailed
+	}
+	sp.End()
+	return nil
+}
+
+// Sequential phases, each ended before the next begins.
+func phases(tr Tracer) {
+	sp := tr.Start("qcsa/reduce")
+	doWork()
+	sp.End()
+	sp = tr.Start("iicp/select")
+	doWork()
+	sp.End()
+}
+
+// Returning the span transfers End responsibility to the caller.
+func open(tr Tracer, name string) Span {
+	sp := tr.Start(name)
+	sp.Add(0, 0)
+	return sp
+}
+
+// End inside a deferred closure still counts.
+func deferredClosure(tr Tracer) {
+	sp := tr.Start("final/select")
+	defer func() {
+		sp.Add(1, 0)
+		sp.End()
+	}()
+	doWork()
+}
+
+// exec.Cmd-shaped Start (returns error) is not a span: no findings.
+type cmd struct{}
+
+func (cmd) Start() error { return nil }
+
+func runCmd() error {
+	c := cmd{}
+	err := c.Start()
+	return err
+}
+
+func doWork() {}
+
+var errFailed = errorString("failed")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -1,0 +1,48 @@
+// Package tuner seeds span leaks: spans started but not ended on every
+// path. The tracer shapes mirror internal/obs without importing it — the
+// analyzer is structural (method named Start returning a value with an
+// End() method).
+package tuner
+
+type Span interface {
+	Add(runs int64, clusterSec float64)
+	End()
+}
+
+type Tracer interface {
+	Start(name string) Span
+}
+
+// Span never ended at all.
+func leakForever(tr Tracer) {
+	sp := tr.Start("phase1/sampling") // want `started but never ended`
+	sp.Add(1, 0.5)
+	doWork()
+}
+
+// Early error return skips the End.
+func leakOnError(tr Tracer, fail bool) error {
+	sp := tr.Start("phase2/search")
+	if fail {
+		return errFailed // want `return may leak span sp`
+	}
+	sp.End()
+	return nil
+}
+
+// Reassignment: the second span leaks even though the first was ended.
+func leakSecond(tr Tracer) {
+	sp := tr.Start("qcsa/reduce")
+	doWork()
+	sp.End()
+	sp = tr.Start("iicp/select") // want `started but never ended`
+	doWork()
+}
+
+func doWork() {}
+
+var errFailed = errorString("failed")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -1,0 +1,10 @@
+// Package mat exercises //locat:allow suppression for wallclock findings
+// in a deterministic package.
+package mat
+
+import "time"
+
+func debugTimer() time.Time {
+	//locat:allow wallclock one-off debug timing helper, not on any tuning path
+	return time.Now()
+}

@@ -1,0 +1,10 @@
+// Package progress sits on the observability edge, outside the
+// deterministic set: wall timing is its whole job and must pass.
+package progress
+
+import "time"
+
+func stamp() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

@@ -1,0 +1,31 @@
+// Package sparksim is a fixture named after a deterministic package: the
+// simulator's only time axis is simulated cluster seconds, so every wall
+// clock read below must be flagged.
+package sparksim
+
+import "time"
+
+func timedRun() float64 {
+	start := time.Now() // want `time.Now reads the wall clock`
+	doWork()
+	return time.Since(start).Seconds() // want `time.Since reads the wall clock`
+}
+
+func throttle() {
+	time.Sleep(10 * time.Millisecond) // want `time.Sleep reads the wall clock`
+}
+
+func poll(done chan struct{}) {
+	select {
+	case <-done:
+	case <-time.After(time.Second): // want `time.After reads the wall clock`
+	}
+}
+
+// Pure duration arithmetic and formatting stay legal.
+func legal() time.Duration {
+	d, _ := time.ParseDuration("3s")
+	return d * 2
+}
+
+func doWork() {}

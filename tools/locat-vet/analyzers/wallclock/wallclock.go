@@ -1,0 +1,62 @@
+// Package wallclock forbids reading or waiting on the wall clock in
+// deterministic packages.
+//
+// Simulated cluster seconds are the tuner's only time axis inside the
+// deterministic core: replaying a recorded trace, re-running with more
+// workers, or re-running on faster hardware must produce bit-identical
+// trajectories. time.Now/Since/Sleep smuggle the host's clock into that
+// computation. Wall timing belongs to the allowlisted observability edge —
+// internal/obs, internal/progress, internal/runner's meter, and
+// internal/service — which are outside the deterministic package set.
+package wallclock
+
+import (
+	"go/ast"
+
+	"locat/tools/locat-vet/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc: "forbids time.Now/Since/Sleep (and friends) in deterministic packages; " +
+		"wall timing belongs in obs, progress, runner's meter, or service",
+	Run: run,
+}
+
+// banned lists the package-level time functions that read or wait on the
+// host clock. Pure construction/formatting (time.Duration arithmetic,
+// time.Unix, ParseDuration) stays legal.
+var banned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"AfterFunc": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsDeterministic(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(pass.TypesInfo, call)
+			if fn == nil || !analysis.PkgFunc(fn, "time") || !banned[fn.Name()] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"time.%s reads the wall clock inside a deterministic package; simulated cluster seconds are the only time axis here (wall timing lives in obs/progress/runner's meter/service)",
+				fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"locat/tools/locat-vet/analysistest"
+	"locat/tools/locat-vet/analyzers/wallclock"
+)
+
+func TestDeterministicPackage(t *testing.T) {
+	analysistest.Run(t, wallclock.Analyzer, "sparksim")
+}
+
+func TestAllowlistedPackageIgnored(t *testing.T) {
+	analysistest.Run(t, wallclock.Analyzer, "progress")
+}
+
+func TestAllowDirective(t *testing.T) {
+	analysistest.Run(t, wallclock.Analyzer, "mat")
+}
+
+func TestCatchesSeededViolation(t *testing.T) {
+	analysistest.MustFail(t, wallclock.Analyzer, "sparksim")
+}

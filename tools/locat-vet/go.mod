@@ -1,0 +1,3 @@
+module locat/tools/locat-vet
+
+go 1.24

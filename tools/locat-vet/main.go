@@ -1,0 +1,39 @@
+// Command locat-vet is the LOCAT repository's custom static-analysis
+// suite: five analyzers that make the tuner's engineering invariants —
+// bit-for-bit determinism, lock discipline, span hygiene — compile-time
+// properties instead of test-time ones.
+//
+// Usage:
+//
+//	locat-vet ./...                       # from the main module root
+//	go vet -vettool=$(command -v locat-vet) ./...
+//
+// Suppress an intentional finding with a trailing or preceding comment:
+//
+//	//locat:allow <analyzer> <reason>
+package main
+
+import (
+	"locat/tools/locat-vet/analysis"
+	"locat/tools/locat-vet/analyzers/detmap"
+	"locat/tools/locat-vet/analyzers/detrand"
+	"locat/tools/locat-vet/analyzers/lockcheck"
+	"locat/tools/locat-vet/analyzers/spancheck"
+	"locat/tools/locat-vet/analyzers/wallclock"
+	"locat/tools/locat-vet/unitchecker"
+)
+
+// Suite is the full analyzer set, in reporting order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detrand.Analyzer,
+		wallclock.Analyzer,
+		detmap.Analyzer,
+		lockcheck.Analyzer,
+		spancheck.Analyzer,
+	}
+}
+
+func main() {
+	unitchecker.Main(Suite()...)
+}

@@ -1,0 +1,297 @@
+// Package unitchecker implements the (unpublished) command-line protocol
+// that `go vet -vettool=<tool>` speaks, using only the standard library.
+// It mirrors golang.org/x/tools/go/analysis/unitchecker: the go command
+// first interrogates the tool with -V=full (cache key) and -flags
+// (analyzer flag discovery), then invokes it once per package with a JSON
+// config file argument describing the sources, the import map, and the
+// export-data files of every dependency that the build step already
+// compiled. Type-checking therefore needs no network and no source
+// re-analysis of dependencies: the gc importer reads export data straight
+// from the build cache via the lookup hook.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"locat/tools/locat-vet/analysis"
+)
+
+// Config is the JSON schema of the file the go command passes as the sole
+// positional argument. Field names must match cmd/go/internal/work's
+// vetConfig exactly.
+type Config struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point of the locat-vet binary. Besides the vet
+// protocol, it accepts package patterns directly (`locat-vet ./...`) and
+// re-executes itself through `go vet -vettool=` so local runs and CI runs
+// share one code path.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	args := os.Args[1:]
+
+	// Handshake flags arrive alone, ahead of any config run.
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full":
+			fmt.Println(versionLine(progname))
+			return
+		case arg == "-V":
+			fmt.Printf("%s version devel\n", progname)
+			return
+		case arg == "-flags":
+			// We expose no analyzer flags; the suite always runs whole.
+			fmt.Println("[]")
+			return
+		case arg == "help" || arg == "-h" || arg == "-help" || arg == "--help":
+			printUsage(progname, analyzers)
+			return
+		}
+	}
+
+	// go vet invokes: <tool> [flags] <dir>/vet.cfg
+	for _, arg := range args {
+		if strings.HasSuffix(arg, ".cfg") {
+			os.Exit(runConfig(arg, analyzers))
+		}
+	}
+
+	if len(args) == 0 {
+		printUsage(progname, analyzers)
+		os.Exit(2)
+	}
+
+	// Package patterns: delegate to the go command with ourselves as the
+	// vet tool, so package loading, caching and test-variant expansion are
+	// exactly what CI gets.
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+}
+
+// versionLine prints the form cmd/go's toolID parser accepts for an
+// external vet tool: `<name> version devel ... buildID=<contentID>`. The
+// content ID is a hash of the executable, so rebuilding the tool correctly
+// invalidates the go command's vet result cache.
+func versionLine(progname string) string {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	return fmt.Sprintf("%s version devel buildID=%x", progname, h.Sum(nil))
+}
+
+func printUsage(progname string, analyzers []*analysis.Analyzer) {
+	fmt.Fprintf(os.Stderr, "%s: static invariants for the LOCAT tuner (determinism, locks, spans)\n\n", progname)
+	fmt.Fprintf(os.Stderr, "usage: %s package...   (e.g. %s ./...)\n", progname, progname)
+	fmt.Fprintf(os.Stderr, "   or: go vet -vettool=$(command -v %s) package...\n\n", progname)
+	fmt.Fprintf(os.Stderr, "Suppress a finding with a trailing or preceding comment:\n")
+	fmt.Fprintf(os.Stderr, "  //locat:allow <analyzer> <reason>\n\nanalyzers:\n")
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, doc)
+	}
+}
+
+func runConfig(cfgFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "locat-vet: %v\n", err)
+		return 1
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "locat-vet: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+
+	// The go command expects the facts file to exist afterwards; the suite
+	// uses no cross-package facts, so an empty one satisfies the cache.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "locat-vet: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency-only run: nothing to analyze, facts written above.
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var parseErrs []error
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			parseErrs = append(parseErrs, err)
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(parseErrs) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		for _, err := range parseErrs {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		return 1
+	}
+
+	pkg, info, err := typecheck(fset, &cfg, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "locat-vet: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	findings := RunAnalyzers(fset, files, pkg, info, analyzers)
+	if len(findings) == 0 {
+		return 0
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(f.Pos), f.Message, f.Analyzer)
+	}
+	return 2
+}
+
+// typecheck loads the package from the parsed files, resolving imports
+// through the export-data files the go command listed in the config.
+func typecheck(fset *token.FileSet, cfg *Config, files []*ast.File) (*types.Package, *types.Info, error) {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(importPath string) (io.ReadCloser, error) {
+		path := importPath
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, compiler, lookup)
+
+	goarch := os.Getenv("GOARCH")
+	if goarch == "" {
+		goarch = runtime.GOARCH
+	}
+
+	var hardErr error
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(compiler, goarch),
+		GoVersion: cfg.GoVersion,
+		Error: func(err error) {
+			if hardErr == nil {
+				hardErr = err
+			}
+		},
+	}
+	info := analysis.NewInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if hardErr == nil {
+		hardErr = err
+	}
+	return pkg, info, hardErr
+}
+
+// RunAnalyzers executes the suite over one type-checked package, applies
+// the //locat:allow suppression filter, and returns surviving findings in
+// source order. The analysistest harness shares this path with the driver
+// so suppression behaves identically in tests and in CI.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*analysis.Analyzer) []analysis.Finding {
+	known := map[string]bool{"locatvet": true}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	allows, findings := analysis.CollectAllows(fset, files, known)
+
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			findings = append(findings, analysis.Finding{Analyzer: name, Diagnostic: d})
+		}
+		if err := a.Run(pass); err != nil {
+			findings = append(findings, analysis.Finding{
+				Analyzer:   name,
+				Diagnostic: analysis.Diagnostic{Pos: token.NoPos, Message: "analyzer error: " + err.Error()},
+			})
+		}
+	}
+
+	findings = analysis.FilterAllowed(fset, findings, allows)
+	sort.SliceStable(findings, func(i, j int) bool {
+		pi, pj := fset.Position(findings[i].Pos), fset.Position(findings[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return findings
+}

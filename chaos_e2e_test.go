@@ -1,0 +1,79 @@
+package locat_test
+
+import (
+	"strings"
+	"testing"
+
+	"locat"
+)
+
+// Fault injection under the healing retry layer must be invisible in the
+// outcome: every drop re-executes at the same run index, so a chaotic
+// session pins to the same committed expectations as the fault-free fixture
+// — at every parallelism level, since the injection schedule is a pure
+// function of (seed, run index, attempt), not of execution order.
+func TestChaosTuneMatchesCommittedExpectation(t *testing.T) {
+	var want tuneExpectation
+	readJSON(t, tuneExpected, &want)
+	for _, workers := range []int{1, 2, 4} {
+		o := quickTuneOptions("")
+		o.Chaos = "drop=0.25,maxfail=2,seed=7"
+		o.Parallelism = workers
+		res, err := locat.Tune(o)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Degraded != "" {
+			t.Fatalf("workers=%d: healed session flagged degraded: %s", workers, res.Degraded)
+		}
+		if len(res.BestParams) != len(want.BestParams) {
+			t.Fatalf("workers=%d: selected %d params, committed %d", workers, len(res.BestParams), len(want.BestParams))
+		}
+		for name, v := range want.BestParams {
+			if got, ok := res.BestParams[name]; !ok || !feq(got, v) {
+				t.Fatalf("workers=%d: selected %s=%v, committed expectation %v", workers, name, res.BestParams[name], v)
+			}
+		}
+		if !feq(res.TunedSeconds, want.TunedSec) || !feq(res.DefaultSeconds, want.DefaultSec) {
+			t.Fatalf("workers=%d: cost (%.6f, %.6f), committed (%.6f, %.6f)",
+				workers, res.TunedSeconds, res.DefaultSeconds, want.TunedSec, want.DefaultSec)
+		}
+		if !feq(res.OverheadSeconds, want.OverheadSec) {
+			t.Fatalf("workers=%d: overhead %.6f, committed %.6f", workers, res.OverheadSeconds, want.OverheadSec)
+		}
+		if res.Runs != want.Runs {
+			t.Fatalf("workers=%d: %d runs, committed %d", workers, res.Runs, want.Runs)
+		}
+	}
+}
+
+// A backend that dies mid-session degrades gracefully through the facade:
+// the session returns the best configuration measured before death instead
+// of an error, and the guardrail keeps it no worse than the defaults.
+func TestChaosStickyDeathDegradesTune(t *testing.T) {
+	o := quickTuneOptions("")
+	o.Chaos = "failafter=15,seed=3"
+	res, err := locat.Tune(o)
+	if err != nil {
+		t.Fatalf("mid-session backend death failed the session: %v", err)
+	}
+	if !strings.Contains(res.Degraded, "chaos") {
+		t.Fatalf("Degraded = %q; want the injected failure cause", res.Degraded)
+	}
+	if res.TunedSeconds > res.DefaultSeconds {
+		t.Fatalf("degraded recommendation (%.3f s) worse than defaults (%.3f s)",
+			res.TunedSeconds, res.DefaultSeconds)
+	}
+}
+
+// Malformed chaos specs are rejected up front, not silently ignored.
+func TestChaosSpecValidation(t *testing.T) {
+	o := quickTuneOptions("")
+	o.Chaos = "drop=nope"
+	if _, err := locat.Tune(o); err == nil {
+		t.Fatal("malformed chaos spec accepted")
+	}
+	if _, err := locat.NewService(locat.ServiceOptions{Chaos: "frobnicate=1"}); err == nil {
+		t.Fatal("malformed service chaos spec accepted")
+	}
+}

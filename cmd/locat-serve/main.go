@@ -1,15 +1,17 @@
 // Command locat-serve runs the LOCAT tuning service: a long-running HTTP
 // server with a pool of concurrent tuning sessions and a persistent
 // history store that warm-starts sessions for workloads similar to past
-// ones.
+// ones. With -store, interrupted jobs checkpoint to disk and -resume
+// requeues them on restart without re-paying completed sample runs.
 //
 // Usage:
 //
-//	locat-serve -addr :8080 -store ./locat-history -workers 4
+//	locat-serve -addr :8080 -store ./locat-history -workers 4 -resume
 //
 // API (JSON unless noted):
 //
 //	POST   /v1/jobs            submit {"cluster","benchmark","data_size_gb",...}
+//	                           (429 when the queue is full, 503 when closing)
 //	GET    /v1/jobs            list jobs
 //	GET    /v1/jobs/{id}       job status
 //	GET    /v1/jobs/{id}/result  finished job's result
@@ -34,6 +36,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -44,30 +47,59 @@ import (
 	"locat"
 )
 
-func main() {
-	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		store   = flag.String("store", "", "history-store directory (empty: in-memory, lost on exit)")
-		workers = flag.Int("workers", 2, "maximum concurrent tuning sessions")
-		quiet   = flag.Bool("quiet", false, "suppress the progress log")
-		backend = flag.String("backend", "", "default execution backend: sim, record=PATH, replay=PATH, sparkrest=URL (jobs may override)")
-		pprofOn = flag.Bool("pprof", false, "expose Go profiling under /debug/pprof/ (off by default: profiling endpoints on a shared service are a footgun)")
-	)
-	flag.Parse()
+// cliConfig is the parsed command line.
+type cliConfig struct {
+	addr    string
+	pprofOn bool
+	opts    locat.ServiceOptions
+}
 
-	svc, err := locat.NewService(locat.ServiceOptions{
-		Workers:    *workers,
-		HistoryDir: *store,
-		Quiet:      *quiet,
-		Backend:    *backend,
-	})
+// parseFlags builds the service configuration from the command line; split
+// from main so tests can drive it without exec'ing the binary.
+func parseFlags(args []string, stderr io.Writer) (cliConfig, error) {
+	fs := flag.NewFlagSet("locat-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var c cliConfig
+	fs.StringVar(&c.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&c.opts.HistoryDir, "store", "", "history-store directory (empty: in-memory, lost on exit)")
+	fs.IntVar(&c.opts.Workers, "workers", 2, "maximum concurrent tuning sessions")
+	fs.BoolVar(&c.opts.Quiet, "quiet", false, "suppress the progress log")
+	fs.StringVar(&c.opts.Backend, "backend", "", "default execution backend: sim, record=PATH, replay=PATH, sparkrest=URL (jobs may override)")
+	fs.BoolVar(&c.pprofOn, "pprof", false, "expose Go profiling under /debug/pprof/ (off by default: profiling endpoints on a shared service are a footgun)")
+	fs.BoolVar(&c.opts.Resume, "resume", false, "requeue checkpointed jobs interrupted by a previous process death (needs -store)")
+	fs.IntVar(&c.opts.QueueCap, "max-queue", 0, "maximum queued jobs before submissions are refused with 429 (0: default 256)")
+	fs.IntVar(&c.opts.JobRetries, "job-retries", 0, "automatic retries of failed jobs, each resuming from the job's checkpoint")
+	fs.StringVar(&c.opts.Chaos, "chaos", "", "deterministic fault-injection spec for resilience testing, e.g. drop=0.3,maxfail=2,seed=7")
+	if err := fs.Parse(args); err != nil {
+		return cliConfig{}, err
+	}
+	if c.opts.QueueCap < 0 {
+		return cliConfig{}, errors.New("locat-serve: -max-queue must be >= 0")
+	}
+	if c.opts.JobRetries < 0 {
+		return cliConfig{}, errors.New("locat-serve: -job-retries must be >= 0")
+	}
+	if c.opts.Resume && c.opts.HistoryDir == "" {
+		return cliConfig{}, errors.New("locat-serve: -resume needs -store (an in-memory store has no checkpoints to resume)")
+	}
+	return c, nil
+}
+
+func main() {
+	c, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	svc, err := locat.NewService(c.opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "locat-serve:", err)
 		os.Exit(1)
 	}
 
 	handler := svc.Handler()
-	if *pprofOn {
+	if c.pprofOn {
 		// Mount the profiling handlers explicitly instead of importing the
 		// package for its DefaultServeMux side effect: the API mux stays in
 		// front, and without -pprof nothing is reachable.
@@ -81,11 +113,11 @@ func main() {
 		handler = mux
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: handler}
+	srv := &http.Server{Addr: c.addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "locat-serve: listening on %s (workers=%d, store=%s)\n",
-		*addr, *workers, storeDesc(*store))
+		c.addr, c.opts.Workers, storeDesc(c.opts.HistoryDir))
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

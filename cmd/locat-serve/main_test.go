@@ -1,0 +1,67 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"locat"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	c, err := parseFlags(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.addr != ":8080" || c.pprofOn {
+		t.Fatalf("defaults: addr=%q pprof=%v", c.addr, c.pprofOn)
+	}
+	want := locat.ServiceOptions{Workers: 2}
+	if c.opts != want {
+		t.Fatalf("default options = %+v, want %+v", c.opts, want)
+	}
+}
+
+func TestParseFlagsFaultTolerance(t *testing.T) {
+	c, err := parseFlags([]string{
+		"-store", "/tmp/hist",
+		"-resume",
+		"-max-queue", "16",
+		"-job-retries", "3",
+		"-chaos", "drop=0.3,maxfail=2,seed=7",
+		"-workers", "4",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := c.opts
+	if !o.Resume || o.QueueCap != 16 || o.JobRetries != 3 ||
+		o.Chaos != "drop=0.3,maxfail=2,seed=7" || o.HistoryDir != "/tmp/hist" || o.Workers != 4 {
+		t.Fatalf("options = %+v", o)
+	}
+}
+
+func TestParseFlagsRejectsBadValues(t *testing.T) {
+	for _, args := range [][]string{
+		{"-max-queue", "-1"},
+		{"-job-retries", "-2"},
+		{"-resume"}, // without -store there is nothing to resume from
+		{"-no-such-flag"},
+	} {
+		if _, err := parseFlags(args, io.Discard); err == nil {
+			t.Errorf("parseFlags(%v) accepted", args)
+		}
+	}
+}
+
+// The chaos spec is validated when the service starts, so a typo fails the
+// process instead of silently tuning without fault injection.
+func TestChaosSpecRejectedAtStartup(t *testing.T) {
+	c, err := parseFlags([]string{"-chaos", "bogus=1"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := locat.NewService(c.opts); err == nil || !strings.Contains(err.Error(), "chaos") {
+		t.Fatalf("NewService error = %v; want chaos-spec rejection", err)
+	}
+}

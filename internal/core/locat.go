@@ -26,6 +26,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -209,6 +210,19 @@ type Report struct {
 	WarmStarted bool
 	// PriorObsUsed is the number of prior observations injected (0 cold).
 	PriorObsUsed int
+	// Degraded, when non-empty, records why the session ended early on a
+	// failing backend (the sticky BackendErr). The session then returns the
+	// best full-application configuration it observed instead of failing —
+	// tuning is best-effort once real cluster time has been paid.
+	Degraded string
+	// FellBack reports that the final guardrail replaced the selected
+	// configuration with the space default because the selection evaluated
+	// worse: the recommendation is never worse than not tuning at all.
+	FellBack bool
+	// BaselineSec is the noiseless full-application latency of the default
+	// configuration at the target size — what the guardrail compared
+	// TunedSec against.
+	BaselineSec float64
 	// QCSA and IICP hold the analysis artifacts (nil when disabled). A
 	// warm-started session that reused prior artifacts synthesizes minimal
 	// results carrying the reused Sensitive / Important sets.
@@ -335,6 +349,14 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 		ds := sizeOf(rep.Evaluations())
 		return recordFull(c, ds, t.run.RunApp(t.app, c, ds))
 	}
+	// sessionStop halts the search between evaluations for either reason:
+	// the caller's cancellation hook, or a backend gone sticky-faulty
+	// (tripped circuit breaker, dead gateway). Consulting BackendErr here —
+	// not only after the search returns — is what stops a session from
+	// burning its remaining iteration budget on runs that can only fail.
+	sessionStop := func() bool {
+		return runner.BackendErr(t.run) != nil || t.stopped()
+	}
 	// runFullBatch fans independent full-application runs over the worker
 	// pool (Options.Workers simulated cluster slots) and reduces the results
 	// in index order, so the recorded history matches a serial runFull loop
@@ -347,7 +369,7 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 		for i := range cs {
 			sizes[i] = sizeOf(evalBase + i)
 		}
-		runs, done := runner.RunBatch(t.run, t.app, cs, func(i int) float64 { return sizes[i] }, t.opts.Workers, t.opts.Stop)
+		runs, done := runner.RunBatch(t.run, t.app, cs, func(i int) float64 { return sizes[i] }, t.opts.Workers, sessionStop)
 		ys = make([]float64, done)
 		for i := 0; i < done; i++ {
 			ys[i] = recordFull(cs[i], sizes[i], runs[i])
@@ -384,7 +406,7 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 			Candidates:  400,
 			Workers:     t.opts.Workers,
 			Seed:        t.opts.Seed,
-			Stop:        t.opts.Stop,
+			Stop:        sessionStop,
 			Tracer:      t.opts.Tracer,
 			EvalBatch: func(xs, ctxs [][]float64) []float64 {
 				cs := make([]conf.Config, len(xs))
@@ -407,6 +429,9 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 		_, complete := runFullBatch(space.LHS(fresh, rng))
 		phaseSpan.End()
 		if !complete {
+			if err := runner.BackendErr(t.run); err != nil {
+				return t.degrade(rep, space, targetGB, err)
+			}
 			return nil, ErrStopped
 		}
 		// Prior observations and the fresh anchors together form the
@@ -433,6 +458,12 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 				p1res.BestX = s.X
 			}
 		}
+	}
+	// Backend death is checked before user cancellation: a session that
+	// already paid for sample runs degrades to its best observation instead
+	// of discarding them.
+	if err := runner.BackendErr(t.run); err != nil {
+		return t.degrade(rep, space, targetGB, err)
 	}
 	if t.stopped() {
 		return nil, ErrStopped
@@ -604,10 +635,13 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 		Workers:     t.opts.Workers,
 		Init:        init,
 		Seed:        t.opts.Seed + 1,
-		Stop:        t.opts.Stop,
+		Stop:        sessionStop,
 		Tracer:      t.opts.Tracer,
 	})
 	phaseSpan.End()
+	if err := runner.BackendErr(t.run); err != nil {
+		return t.degrade(rep, space, targetGB, err)
+	}
 	if t.stopped() {
 		return nil, ErrStopped
 	}
@@ -622,10 +656,65 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 	fs := tr.Start("final/select")
 	rep.Best = t.pickBest(sub, p2res, p2warm, targetGB)
 	rep.TunedSec = t.run.NoiselessAppTime(t.app, rep.Best, targetGB)
+	t.applyGuardrail(rep, space, targetGB)
 	fs.End()
 	t.logf("done: %d runs, %.0f s overhead (%.0f sampling + %.0f search), tuned latency %.0f s",
 		rep.Evaluations(), rep.OverheadSec, rep.SamplingSec, rep.SearchSec, rep.TunedSec)
 	return rep, nil
+}
+
+// degrade finishes a session whose backend went sticky-faulty mid-way: the
+// report keeps everything the session measured and recommends the best
+// full-application configuration actually observed (prior observations
+// included for warm sessions) rather than failing — cluster time already
+// paid for those samples. A backend that died before any successful run
+// leaves nothing to recommend and the session fails with the cause.
+func (t *Tuner) degrade(rep *Report, space *conf.Space, targetGB float64, cause error) (*Report, error) {
+	var best conf.Config
+	bestSec := math.Inf(1)
+	if prior := t.warmPrior(); prior != nil {
+		for _, ob := range prior.Obs {
+			if ob.Sec > 0 && ob.Sec < bestSec {
+				best, bestSec = ob.Conf, ob.Sec
+			}
+		}
+	}
+	// Failed runs report zero seconds; they are observations of nothing and
+	// must not win. Only full-application runs qualify — an RQA latency is
+	// on a different scale.
+	for _, e := range rep.History {
+		if e.FullApp && e.Sec > 0 && e.Sec < bestSec {
+			best, bestSec = e.Conf, e.Sec
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("core: backend failed before any successful sample run: %w", cause)
+	}
+	rep.Best = best
+	rep.Degraded = cause.Error()
+	// NoiselessAppTime models execution without touching the (dead) backend,
+	// so the degraded recommendation still gets an evaluated latency and the
+	// guardrail below still applies.
+	rep.TunedSec = t.run.NoiselessAppTime(t.app, rep.Best, targetGB)
+	t.applyGuardrail(rep, space, targetGB)
+	t.logf("degraded: backend failed (%v); returning best of %d observed runs (%.0f s observed)",
+		cause, rep.Evaluations(), bestSec)
+	return rep, nil
+}
+
+// applyGuardrail pins the session's floor: the recommendation is never
+// worse than the default configuration it started from. When the selected
+// configuration evaluates slower than the default at the target size, the
+// default wins and the report says so — "tuned" must never mean "worse".
+func (t *Tuner) applyGuardrail(rep *Report, space *conf.Space, targetGB float64) {
+	rep.BaselineSec = t.run.NoiselessAppTime(t.app, space.Default(), targetGB)
+	if rep.BaselineSec > 0 && rep.TunedSec > rep.BaselineSec {
+		rep.Best = space.Default()
+		rep.TunedSec = rep.BaselineSec
+		rep.FellBack = true
+		t.logf("guardrail: selected configuration (%.0f s) loses to the default (%.0f s); recommending the default",
+			rep.TunedSec, rep.BaselineSec)
+	}
 }
 
 // dagpRank fits a DAGP on the steps and returns the decision point with the

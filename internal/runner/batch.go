@@ -80,10 +80,22 @@ func poolBatch(r Runner, app *Application, cs []conf.Config, dataGB func(i int) 
 		}
 		var next atomic.Int64
 		var wg sync.WaitGroup
+		// A panicking run (a replay trace miss, an injected chaos kill) must
+		// not crash the process from a worker goroutine: capture the first
+		// panic, drain the pool, and re-raise it on the caller's goroutine
+		// where session-level recovery (the service's runJobSafe) can see it.
+		var panicOnce sync.Once
+		var panicked any
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				defer func() {
+					if p := recover(); p != nil {
+						panicOnce.Do(func() { panicked = p })
+						next.Store(int64(n)) // stop claiming further items
+					}
+				}()
 				for {
 					i := int(next.Add(1)) - 1
 					if i >= n {
@@ -98,6 +110,9 @@ func poolBatch(r Runner, app *Application, cs []conf.Config, dataGB func(i int) 
 			}()
 		}
 		wg.Wait()
+		if panicked != nil {
+			panic(panicked)
+		}
 	}
 	for done < n && completed[done] {
 		done++

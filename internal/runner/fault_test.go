@@ -1,0 +1,387 @@
+package runner
+
+import (
+	"errors"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"locat/internal/conf"
+	"locat/internal/sparksim"
+)
+
+// RunQueryAt pins fakeBackend query runs to an explicit index, so the fault
+// wrappers keep chaotic query sessions index-aligned with fault-free ones.
+func (f *fakeBackend) RunQueryAt(idx uint64, q Query, c conf.Config, dataGB float64) QueryResult {
+	return QueryResult{Name: q.Name, Sec: float64(idx+1) + c[0]}
+}
+
+func noSleep(time.Duration) {}
+
+func TestParseChaosSpec(t *testing.T) {
+	o, err := ParseChaosSpec("drop=0.3,maxfail=2,delay=0.1,delayms=50,failafter=40,killafter=25,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &ChaosOptions{
+		DropRate: 0.3, MaxConsecutive: 2, DelayRate: 0.1, Delay: 50 * time.Millisecond,
+		FailAfter: 40, KillAfter: 25, Seed: 7,
+	}
+	if !reflect.DeepEqual(o, want) {
+		t.Fatalf("parsed %+v, want %+v", o, want)
+	}
+	if o, err := ParseChaosSpec(""); err != nil || o != nil {
+		t.Fatalf("empty spec: got %+v, %v; want nil, nil", o, err)
+	}
+	for _, bad := range []string{"drop", "drop=2", "drop=-0.1", "maxfail=-1", "maxfail=x", "wat=1", "seed=abc", "delayms=-5"} {
+		if _, err := ParseChaosSpec(bad); err == nil {
+			t.Errorf("spec %q: want error", bad)
+		}
+	}
+}
+
+// A retried chaotic session must reproduce the fault-free session
+// bit-for-bit: MaxConsecutive bounds the failures of any run below the
+// retry budget, so every drop heals and the same results come back in the
+// same order.
+func TestChaosWithRetryMatchesFaultFree(t *testing.T) {
+	want, _, wantNoiseless := driveSession(t, newFakeBackend(Capabilities{}))
+
+	var retries atomic.Int64
+	chain := NewRetrying(
+		NewChaos(newFakeBackend(Capabilities{}), ChaosOptions{DropRate: 0.5, MaxConsecutive: 2, Seed: 9}),
+		RetryOptions{MaxAttempts: 3, Sleep: noSleep, OnRetry: func() { retries.Add(1) }},
+	)
+	got, _, gotNoiseless := driveSession(t, chain)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("chaotic session diverged from fault-free results")
+	}
+	if !reflect.DeepEqual(gotNoiseless, wantNoiseless) {
+		t.Fatalf("noiseless evaluations diverged: %v vs %v", gotNoiseless, wantNoiseless)
+	}
+	if retries.Load() == 0 {
+		t.Fatal("no retries happened; drop rate 0.5 should have faulted something")
+	}
+	if err := BackendErr(chain); err != nil {
+		t.Fatalf("healed session reports backend error: %v", err)
+	}
+}
+
+// The same chaos seed must produce the same fault schedule on every run and
+// worker count: the retry counts of repeated sessions are identical.
+func TestChaosScheduleDeterministic(t *testing.T) {
+	counts := make([]int64, 3)
+	for i := range counts {
+		var retries atomic.Int64
+		chain := NewRetrying(
+			NewChaos(newFakeBackend(Capabilities{}), ChaosOptions{DropRate: 0.4, Seed: 11}),
+			RetryOptions{MaxAttempts: 3, Sleep: noSleep, OnRetry: func() { retries.Add(1) }},
+		)
+		driveSession(t, chain)
+		counts[i] = retries.Load()
+	}
+	if counts[0] != counts[1] || counts[1] != counts[2] {
+		t.Fatalf("retry counts differ across identical sessions: %v", counts)
+	}
+}
+
+// Dropped attempts must not reach the inner backend: a Replayer below the
+// chaos layer consumes one trace entry per served run, so a drop that
+// touched it would desynchronize the replay.
+func TestChaosDropNeverTouchesInner(t *testing.T) {
+	var tally Tally
+	inner := Metered(newFakeBackend(Capabilities{}), &tally)
+	chaos := NewChaos(inner, ChaosOptions{DropRate: 1, MaxConsecutive: 1, Seed: 3})
+	app := batchApp()
+	c := inner.Space().Default()
+
+	// First attempt of run 0 drops (rate 1); no execution below.
+	if res, err := chaos.TryRunAppAt(chaos.ReserveRuns(1), app, c, 100); err == nil || res.Sec != 0 {
+		t.Fatalf("want dropped first attempt, got %+v, %v", res, err)
+	}
+	if runs, _ := tally.Snapshot(); runs != 0 {
+		t.Fatalf("drop executed %d inner runs; want 0", runs)
+	}
+	if !IsTransient(&errChaosDrop{}) {
+		t.Fatal("chaos drops must classify transient")
+	}
+	// Second attempt of the same index clears (maxfail 1) and executes.
+	if _, err := chaos.TryRunAppAt(0, app, c, 100); err != nil {
+		t.Fatalf("second attempt should heal: %v", err)
+	}
+	if runs, _ := tally.Snapshot(); runs != 1 {
+		t.Fatalf("healed attempt executed %d runs; want 1", runs)
+	}
+}
+
+func TestChaosFailAfterIsSticky(t *testing.T) {
+	fake := newFakeBackend(Capabilities{})
+	chaos := NewChaos(fake, ChaosOptions{FailAfter: 2, Seed: 1})
+	app := batchApp()
+	c := fake.Space().Default()
+	for i := 0; i < 2; i++ {
+		if res := chaos.RunApp(app, c, 100); res.Sec == 0 {
+			t.Fatalf("run %d should succeed before FailAfter", i)
+		}
+	}
+	if err := BackendErr(chaos); !errors.Is(err, ErrChaosFailed) {
+		t.Fatalf("after FailAfter: err = %v, want ErrChaosFailed", err)
+	}
+	if res := chaos.RunApp(app, c, 100); res.Sec != 0 {
+		t.Fatal("runs after the sticky failure must report zero results")
+	}
+	// Sticky failures are not transient: a retry policy must give up.
+	if IsTransient(BackendErr(chaos)) {
+		t.Fatal("sticky chaos failure classified transient")
+	}
+}
+
+// A chaos kill inside a parallel batch must surface as a panic on the
+// calling goroutine (where session-level recovery lives), not crash the
+// process from a pool worker.
+func TestBatchPanicReachesCaller(t *testing.T) {
+	fake := newFakeBackend(Capabilities{})
+	chaos := NewChaos(fake, ChaosOptions{KillAfter: 2, Seed: 1})
+	cs := randomConfigs(fake.Space(), 8, 5)
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("kill did not propagate out of RunBatch")
+		}
+		if s, ok := p.(string); !ok || !strings.Contains(s, "chaos kill") {
+			t.Fatalf("unexpected panic payload: %v", p)
+		}
+	}()
+	RunBatch(chaos, batchApp(), cs, func(int) float64 { return 100 }, 4, nil)
+}
+
+// Backoff delays are a pure function of (seed, index, attempt): capped
+// exponential with jitter in [0.5, 1) of the nominal delay.
+func TestRetryBackoffDeterministicAndBounded(t *testing.T) {
+	sleeps := func() []time.Duration {
+		var got []time.Duration
+		var mu sync.Mutex
+		chain := NewRetrying(
+			NewChaos(newFakeBackend(Capabilities{}), ChaosOptions{DropRate: 0.6, MaxConsecutive: 2, Seed: 4}),
+			RetryOptions{
+				MaxAttempts: 3, BaseDelay: 100 * time.Millisecond, MaxDelay: 150 * time.Millisecond,
+				Seed:  8,
+				Sleep: func(d time.Duration) { mu.Lock(); got = append(got, d); mu.Unlock() },
+			},
+		)
+		driveSession(t, chain)
+		return got
+	}
+	a, b := sleeps(), sleeps()
+	if len(a) == 0 {
+		t.Fatal("no backoff sleeps recorded")
+	}
+	// Batch workers interleave retries, so compare the schedule as a set.
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("backoff schedule not deterministic:\n%v\n%v", a, b)
+	}
+	for _, d := range a {
+		if d < 50*time.Millisecond || d >= 150*time.Millisecond {
+			t.Fatalf("delay %v outside [base/2, max)", d)
+		}
+	}
+}
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	var tally Tally
+	inner := Metered(newFakeBackend(Capabilities{}), &tally)
+	var opened atomic.Int64
+	chain := NewRetrying(
+		// Every attempt drops and maxfail exceeds the retry budget, so every
+		// run exhausts its attempts.
+		NewChaos(inner, ChaosOptions{DropRate: 1, MaxConsecutive: 100, Seed: 2}),
+		RetryOptions{MaxAttempts: 2, BreakerThreshold: 3, Sleep: noSleep,
+			OnBreakerOpen: func() { opened.Add(1) }},
+	)
+	app := batchApp()
+	c := inner.Space().Default()
+	for i := 0; i < 3; i++ {
+		if err := BackendErr(chain); err != nil {
+			t.Fatalf("breaker open after only %d failed runs: %v", i, err)
+		}
+		chain.RunApp(app, c, 100)
+	}
+	if err := BackendErr(chain); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("after 3 failed runs: err = %v, want ErrBreakerOpen", err)
+	}
+	if opened.Load() != 1 {
+		t.Fatalf("OnBreakerOpen fired %d times, want 1", opened.Load())
+	}
+	// Open breaker short-circuits: no further inner attempts.
+	before, _ := tally.Snapshot()
+	chain.RunApp(app, c, 100)
+	if after, _ := tally.Snapshot(); after != before {
+		t.Fatal("breaker-open run still reached the backend")
+	}
+	if before != 0 {
+		t.Fatalf("dropped attempts executed %d inner runs, want 0", before)
+	}
+}
+
+// stickyFake is a Faulty backend for forwarding tests.
+type stickyFake struct {
+	*fakeBackend
+	err error
+}
+
+func (s *stickyFake) Err() error { return s.err }
+
+// BackendErr must see through the full production wrapper chain
+// (Observed ∘ Retrying ∘ Chaos ∘ backend) from every layer it can
+// originate at: the innermost backend, the chaos layer, and the breaker.
+func TestBackendErrThroughWrapperChain(t *testing.T) {
+	// Innermost sticky failure surfaces through all three wrappers.
+	bottom := &stickyFake{fakeBackend: newFakeBackend(Capabilities{})}
+	var tally Tally
+	chain := Observe(
+		NewRetrying(NewChaos(bottom, ChaosOptions{Seed: 1}), RetryOptions{Sleep: noSleep}),
+		&tally)
+	if err := BackendErr(chain); err != nil {
+		t.Fatalf("healthy chain reports %v", err)
+	}
+	bottom.err = errors.New("gateway dead")
+	if err := BackendErr(chain); err == nil || err.Error() != "gateway dead" {
+		t.Fatalf("innermost error not forwarded: %v", err)
+	}
+
+	// Chaos-layer sticky failure surfaces through Retrying and Observed.
+	chaos := NewChaos(newFakeBackend(Capabilities{}), ChaosOptions{FailAfter: 1, Seed: 1})
+	chain2 := Observe(NewRetrying(chaos, RetryOptions{Sleep: noSleep}), &tally)
+	chain2.RunApp(batchApp(), chain2.Space().Default(), 100)
+	if err := BackendErr(chain2); !errors.Is(err, ErrChaosFailed) {
+		t.Fatalf("chaos failure not forwarded: %v", err)
+	}
+
+	// The chain also composes over a Replayer and keeps its results exact.
+	cl := sparksim.ARM()
+	sink, buf := memSink()
+	rec := NewRecorder(NewSim(sparksim.New(cl, 7)), sink, "s1")
+	wantApps, wantQueries, wantNoiseless := driveSession(t, rec)
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rp, err := NewReplayer(cl.Space(), buf, "s1", ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := Observe(NewRetrying(NewChaos(rp, ChaosOptions{DropRate: 0.5, MaxConsecutive: 2, Seed: 13}),
+		RetryOptions{MaxAttempts: 3, Sleep: noSleep}), &tally)
+	if name := CapsOf(full).Name; name != "observed(retry(chaos(trace-replay)))" {
+		t.Fatalf("capability names do not nest: %q", name)
+	}
+	gotApps, gotQueries, gotNoiseless := driveSession(t, full)
+	if !reflect.DeepEqual(gotApps, wantApps) || !reflect.DeepEqual(gotQueries, wantQueries) ||
+		!reflect.DeepEqual(gotNoiseless, wantNoiseless) {
+		t.Fatal("chaotic replay diverged from the recorded session")
+	}
+	if err := BackendErr(full); err != nil {
+		t.Fatalf("healed replay chain reports %v", err)
+	}
+}
+
+// The cache must serve checkpointed runs without re-executing them: a full
+// re-drive of a fully-checkpointed session costs zero backend runs and
+// returns identical results.
+func TestCacheServesCheckpointedRuns(t *testing.T) {
+	var entries []TraceEntry
+	var mu sync.Mutex
+	var payTally Tally
+	paying := NewCache(Metered(newFakeBackend(Capabilities{}), &payTally), nil, func(e TraceEntry) {
+		mu.Lock()
+		entries = append(entries, e)
+		mu.Unlock()
+	})
+	wantApps, wantQueries, wantNoiseless := driveSession(t, paying)
+	paidRuns, _ := payTally.Snapshot()
+	if paidRuns == 0 || paying.ResumedRuns() != 0 {
+		t.Fatalf("first drive: %d paid runs, %d resumed", paidRuns, paying.ResumedRuns())
+	}
+
+	var resumeTally Tally
+	resumed := NewCache(Metered(newFakeBackend(Capabilities{}), &resumeTally), entries, nil)
+	gotApps, gotQueries, gotNoiseless := driveSession(t, resumed)
+	if !reflect.DeepEqual(gotApps, wantApps) || !reflect.DeepEqual(gotQueries, wantQueries) ||
+		!reflect.DeepEqual(gotNoiseless, wantNoiseless) {
+		t.Fatal("resumed session diverged from the original")
+	}
+	if runs, _ := resumeTally.Snapshot(); runs != 0 {
+		t.Fatalf("resumed session re-executed %d runs; want 0", runs)
+	}
+	if resumed.ResumedRuns() != paidRuns {
+		t.Fatalf("resumed %d runs, want %d", resumed.ResumedRuns(), paidRuns)
+	}
+}
+
+// A partial checkpoint covers a prefix; the suffix executes fresh and is
+// reported onward, so paid + fresh always equals the uninterrupted total.
+func TestCachePartialCheckpointPaysOnlySuffix(t *testing.T) {
+	var entries []TraceEntry
+	var mu sync.Mutex
+	var tally0 Tally
+	first := NewCache(Metered(newFakeBackend(Capabilities{}), &tally0), nil, func(e TraceEntry) {
+		mu.Lock()
+		entries = append(entries, e)
+		mu.Unlock()
+	})
+	wantApps, _, _ := driveSession(t, first)
+	total, _ := tally0.Snapshot()
+
+	// Keep only the app runs at the first three indices — the "killed after
+	// three runs" checkpoint.
+	var prefix []TraceEntry
+	for _, e := range entries {
+		if e.Kind == TraceApp && e.Idx < 3 {
+			prefix = append(prefix, e)
+		}
+	}
+	if len(prefix) != 3 {
+		t.Fatalf("prefix holds %d app entries, want 3", len(prefix))
+	}
+
+	var tally Tally
+	resumed := NewCache(Metered(newFakeBackend(Capabilities{}), &tally), prefix, nil)
+	gotApps, _, _ := driveSession(t, resumed)
+	if !reflect.DeepEqual(gotApps, wantApps) {
+		t.Fatal("partially resumed session diverged")
+	}
+	fresh, _ := tally.Snapshot()
+	if resumed.ResumedRuns() != 3 {
+		t.Fatalf("resumed %d runs, want 3", resumed.ResumedRuns())
+	}
+	if fresh+resumed.ResumedRuns() != total {
+		t.Fatalf("fresh %d + resumed %d != total %d", fresh, resumed.ResumedRuns(), total)
+	}
+}
+
+// Failed (zero-result) runs must not enter the checkpoint feed: resuming
+// must never serve a failure as a paid result.
+func TestCacheSkipsFailedRuns(t *testing.T) {
+	var entries []TraceEntry
+	var mu sync.Mutex
+	// Every run fails (drop rate 1, no retry budget beyond the drops).
+	dead := NewChaos(newFakeBackend(Capabilities{}), ChaosOptions{DropRate: 1, MaxConsecutive: 100, Seed: 6})
+	cache := NewCache(dead, nil, func(e TraceEntry) {
+		mu.Lock()
+		entries = append(entries, e)
+		mu.Unlock()
+	})
+	if res := cache.RunApp(batchApp(), cache.Space().Default(), 100); res.Sec != 0 {
+		t.Fatal("dropped run returned a result")
+	}
+	for _, e := range entries {
+		if e.Kind != TraceNoiseless {
+			t.Fatalf("failed run leaked into the checkpoint feed: %+v", e)
+		}
+	}
+}

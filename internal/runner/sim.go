@@ -20,11 +20,16 @@ func NewSim(s *sparksim.Simulator) Sim { return Sim{Simulator: s} }
 
 // Capabilities report the simulator's native batch path and per-run-index
 // noise streams (stop polling is honored inside Simulator.RunBatch).
+// Deterministic holds because results are pure functions of (run index,
+// configuration, size) — the invariant the whole run-index scheme rests on
+// — which lets a checkpoint-resumed session re-drive the identical
+// trajectory and serve paid runs from the checkpoint verbatim.
 func (s Sim) Capabilities() Capabilities {
 	return Capabilities{
-		Name:        "sparksim",
-		NativeBatch: true,
-		Stoppable:   true,
+		Name:          "sparksim",
+		NativeBatch:   true,
+		Stoppable:     true,
+		Deterministic: true,
 	}
 }
 

@@ -1,0 +1,341 @@
+package service
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"locat/internal/runner"
+)
+
+// metricValue extracts a series value from a Prometheus text exposition
+// (-1 when the series is absent).
+func metricValue(exposition, series string) float64 {
+	for _, line := range strings.Split(exposition, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == series {
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err == nil {
+				return v
+			}
+		}
+	}
+	return -1
+}
+
+func scrape(s *Service) string {
+	var b strings.Builder
+	s.Metrics().WritePrometheus(&b)
+	return b.String()
+}
+
+// A chaos schedule whose drop ceiling stays under the retry budget must be
+// invisible in the result: every injected fault heals, so the tuned
+// configuration is bit-identical to the fault-free session's.
+func TestChaosHealingJobMatchesFaultFree(t *testing.T) {
+	spec := quickSpec(80, 4)
+
+	clean := New(Config{Workers: 1})
+	cleanRes, err := submitAndWait(t, clean, spec)
+	clean.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chaotic := New(Config{Workers: 1, Chaos: "drop=0.25,maxfail=2,seed=7"})
+	defer chaotic.Close()
+	res, err := submitAndWait(t, chaotic, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(res.BestConfig, cleanRes.BestConfig) || res.TunedSec != cleanRes.TunedSec {
+		t.Fatalf("chaotic session diverged from fault-free:\n chaos: %v (%.3f s)\n clean: %v (%.3f s)",
+			res.BestConfig, res.TunedSec, cleanRes.BestConfig, cleanRes.TunedSec)
+	}
+	if res.Degraded != "" || res.FellBack {
+		t.Fatalf("healed session flagged degraded=%q fellback=%v", res.Degraded, res.FellBack)
+	}
+
+	// The fault-tolerance series are on the exposition: retries were paid,
+	// no breaker is open, checkpoints were written.
+	out := scrape(chaotic)
+	if v := metricValue(out, "locat_run_retries_total"); v <= 0 {
+		t.Fatalf("locat_run_retries_total = %v; want > 0 under drop injection\n%s", v, out)
+	}
+	if v := metricValue(out, "locat_breaker_open"); v != 0 {
+		t.Fatalf("locat_breaker_open = %v; want 0 after the session", v)
+	}
+	if v := metricValue(out, "locat_jobs_resumed_total"); v != 0 {
+		t.Fatalf("locat_jobs_resumed_total = %v; want 0 (nothing resumed)", v)
+	}
+	if v := metricValue(out, "locat_checkpoint_write_seconds_count"); v <= 0 {
+		t.Fatalf("locat_checkpoint_write_seconds_count = %v; want > 0", v)
+	}
+}
+
+// A backend that dies mid-session degrades the job instead of failing it:
+// the result is the best configuration measured before death, flagged, and
+// never worse than the defaults.
+func TestBackendDeathDegradesJob(t *testing.T) {
+	s := New(Config{Workers: 1, Chaos: "failafter=12,seed=3"})
+	defer s.Close()
+	res, err := submitAndWait(t, s, quickSpec(80, 4))
+	if err != nil {
+		t.Fatalf("mid-session backend death failed the job: %v", err)
+	}
+	if !strings.Contains(res.Degraded, "chaos") {
+		t.Fatalf("Degraded = %q; want the injected failure cause", res.Degraded)
+	}
+	if res.TunedSec > res.DefaultSec {
+		t.Fatalf("degraded recommendation (%.3f s) worse than default (%.3f s)", res.TunedSec, res.DefaultSec)
+	}
+	if v := metricValue(scrape(s), "locat_breaker_open"); v != 0 {
+		t.Fatalf("locat_breaker_open = %v after the session; want 0", v)
+	}
+}
+
+// captureStore snapshots every checkpoint write, so the test can replant a
+// mid-session checkpoint into a fresh store — the state a process death
+// leaves behind (the worker never reached a terminal state, so nothing
+// deleted the checkpoint).
+type captureStore struct {
+	*MemStore
+	mu   sync.Mutex
+	cps  []Checkpoint
+	last *Checkpoint
+}
+
+func (c *captureStore) PutCheckpoint(cp Checkpoint) error {
+	c.mu.Lock()
+	snap := cp
+	snap.Entries = append([]runner.TraceEntry(nil), cp.Entries...)
+	c.cps = append(c.cps, snap)
+	c.last = &snap
+	c.mu.Unlock()
+	return c.MemStore.PutCheckpoint(cp)
+}
+
+// Kill-and-restart: a service started with Resume over a store holding a
+// checkpoint requeues the interrupted job under its original ID, serves the
+// paid runs from the checkpoint, and lands on the identical tuned
+// configuration. With the final checkpoint planted, zero runs re-execute.
+func TestResumeFromCheckpointAfterKill(t *testing.T) {
+	cap1 := &captureStore{MemStore: NewMemStore()}
+	s1 := New(Config{Workers: 1, Store: cap1, CheckpointEvery: 1})
+	spec := quickSpec(80, 4)
+	baseline, err := submitAndWait(t, s1, spec)
+	s1.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap1.last == nil || len(cap1.last.Entries) == 0 {
+		t.Fatal("no checkpoint captured during the session")
+	}
+	// The finished job retired its checkpoint from the real store.
+	if cp, _ := cap1.GetCheckpoint(cap1.last.JobID); cp != nil {
+		t.Fatal("terminal job left its checkpoint behind")
+	}
+
+	check := func(t *testing.T, planted Checkpoint) *JobResult {
+		t.Helper()
+		ms := NewMemStore()
+		if err := ms.PutCheckpoint(planted); err != nil {
+			t.Fatal(err)
+		}
+		s2 := New(Config{Workers: 1, Store: ms, Resume: true, CheckpointEvery: 1})
+		defer s2.Close()
+		res, err := s2.Result(planted.JobID)
+		if err != nil {
+			t.Fatalf("resumed job failed: %v", err)
+		}
+		if !reflect.DeepEqual(res.BestConfig, baseline.BestConfig) || res.TunedSec != baseline.TunedSec {
+			t.Fatalf("resumed session diverged from the uninterrupted one:\n resumed: %v (%.3f s)\n baseline: %v (%.3f s)",
+				res.BestConfig, res.TunedSec, baseline.BestConfig, baseline.TunedSec)
+		}
+		// Conservation: every execution the uninterrupted session paid is
+		// either served from the checkpoint or re-executed, never both.
+		if res.Runs+res.ResumedRuns != baseline.Runs {
+			t.Fatalf("runs not conserved: fresh %d + resumed %d != baseline %d",
+				res.Runs, res.ResumedRuns, baseline.Runs)
+		}
+		if v := metricValue(scrape(s2), "locat_jobs_resumed_total"); v != 1 {
+			t.Fatalf("locat_jobs_resumed_total = %v; want 1", v)
+		}
+		// The finished resume retired the checkpoint.
+		if cp, _ := ms.GetCheckpoint(planted.JobID); cp != nil {
+			t.Fatal("resumed job left its checkpoint behind")
+		}
+		// Fresh submissions never collide with the resumed ID.
+		id, err := s2.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id == planted.JobID {
+			t.Fatalf("fresh submission reused resumed job ID %s", id)
+		}
+		if _, err := s2.Result(id); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	t.Run("FinalCheckpoint", func(t *testing.T) {
+		res := check(t, *cap1.last)
+		// Everything was paid before the "kill": nothing re-executes.
+		if res.Runs != 0 {
+			t.Fatalf("resume re-executed %d runs; want 0", res.Runs)
+		}
+		if res.ResumedRuns != baseline.Runs {
+			t.Fatalf("ResumedRuns = %d; want %d", res.ResumedRuns, baseline.Runs)
+		}
+	})
+	t.Run("MidSessionCheckpoint", func(t *testing.T) {
+		mid := *cap1.last
+		mid.Entries = append([]runner.TraceEntry(nil), mid.Entries[:len(mid.Entries)/2]...)
+		res := check(t, mid)
+		if res.ResumedRuns == 0 || res.Runs == 0 {
+			t.Fatalf("partial resume should mix served (%d) and fresh (%d) runs",
+				res.ResumedRuns, res.Runs)
+		}
+	})
+}
+
+// Kill injection plus bounded job retries: each attempt pays a few more
+// runs before the injected crash, the checkpoint accumulates them, and a
+// later attempt completes — with the same result as a crash-free session.
+func TestJobRetryResumesAcrossAttempts(t *testing.T) {
+	spec := quickSpec(70, 6)
+
+	clean := New(Config{Workers: 1})
+	baseline, err := submitAndWait(t, clean, spec)
+	clean.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Config{
+		Workers:         1,
+		JobRetries:      8,
+		CheckpointEvery: 1,
+		Chaos:           "killafter=12,seed=5",
+	})
+	defer s.Close()
+	res, err := submitAndWait(t, s, spec)
+	if err != nil {
+		t.Fatalf("job did not survive kill injection within the retry budget: %v", err)
+	}
+	if !reflect.DeepEqual(res.BestConfig, baseline.BestConfig) || res.TunedSec != baseline.TunedSec {
+		t.Fatalf("retried session diverged from crash-free baseline:\n retried: %v (%.3f s)\n baseline: %v (%.3f s)",
+			res.BestConfig, res.TunedSec, baseline.BestConfig, baseline.TunedSec)
+	}
+	// The successful attempt resumed paid work from earlier attempts and
+	// never re-paid it.
+	if res.ResumedRuns == 0 {
+		t.Fatal("successful attempt served nothing from the checkpoint; retries did not resume")
+	}
+	if res.Runs+res.ResumedRuns != baseline.Runs {
+		t.Fatalf("runs not conserved across attempts: fresh %d + resumed %d != baseline %d",
+			res.Runs, res.ResumedRuns, baseline.Runs)
+	}
+}
+
+// gatedStore blocks history reads until the gate opens, pinning the single
+// worker inside its session so the queue state is deterministic.
+type gatedStore struct {
+	Store
+	gate chan struct{}
+}
+
+func (g *gatedStore) Get(key string) ([]Entry, error) {
+	<-g.gate
+	return g.Store.Get(key)
+}
+
+// Admission control: a full queue refuses submissions with ErrQueueFull
+// (429 over HTTP) without burning job IDs; a closed service answers
+// ErrClosed (503).
+func TestQueueFullAdmissionControl(t *testing.T) {
+	gate := make(chan struct{})
+	s := New(Config{Workers: 1, QueueCap: 1, Store: &gatedStore{Store: NewMemStore(), gate: gate}})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	id1, err := s.Submit(quickSpec(60, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the worker to pick job 1 up (it then parks on the gated
+	// history read), then fill the queue buffer.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Stats().Running == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("job 1 never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	id2, err := s.Submit(quickSpec(60, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(quickSpec(60, 3)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submission error = %v; want ErrQueueFull", err)
+	}
+	resp, err := srv.Client().Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"benchmark":"TPC-H","data_size_gb":60}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full-queue submit = %d; want 429", resp.StatusCode)
+	}
+
+	close(gate) // release the worker; the backlog drains
+	for _, id := range []string{id1, id2} {
+		if _, err := s.Result(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The refused submission did not burn an ID: the next accepted job is 3.
+	id4, err := s.Submit(quickSpec(60, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id4 != "job-000003" {
+		t.Fatalf("post-refusal submission got %s; want job-000003", id4)
+	}
+	if _, err := s.Result(id4); err != nil {
+		t.Fatal(err)
+	}
+
+	s.Close()
+	if _, err := s.Submit(quickSpec(60, 5)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed-service submission error = %v; want ErrClosed", err)
+	}
+	resp, err = srv.Client().Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"benchmark":"TPC-H","data_size_gb":60}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("closed-service submit = %d; want 503", resp.StatusCode)
+	}
+}
+
+// submitAndWait runs one job to completion.
+func submitAndWait(t *testing.T, s *Service, spec JobSpec) (*JobResult, error) {
+	t.Helper()
+	id, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Result(id)
+}

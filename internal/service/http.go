@@ -53,6 +53,7 @@ func (s *Service) History() ([]HistorySummary, error) {
 // Handler returns the service's HTTP API:
 //
 //	POST   /v1/jobs           submit a JobSpec, returns {"id": ...}
+//	                          (429 when the queue is full, 503 when closing)
 //	GET    /v1/jobs           list job statuses
 //	GET    /v1/jobs/{id}      one job's status (result embedded when done)
 //	GET    /v1/jobs/{id}/result  the finished job's full result (409 while running)
@@ -86,7 +87,17 @@ func (s *Service) Handler() http.Handler {
 		}
 		id, err := s.Submit(spec)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			// Admission control: a full queue is back-pressure (retry later),
+			// a closing service is unavailability — both distinct from a
+			// malformed spec.
+			switch {
+			case errors.Is(err, ErrQueueFull):
+				httpError(w, http.StatusTooManyRequests, err)
+			case errors.Is(err, ErrClosed):
+				httpError(w, http.StatusServiceUnavailable, err)
+			default:
+				httpError(w, http.StatusBadRequest, err)
+			}
 			return
 		}
 		writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "state": string(StateQueued)})

@@ -15,6 +15,13 @@ type serviceMetrics struct {
 	failed    *obs.Histogram
 	cancelled *obs.Histogram
 	runs      *runner.RunMetrics
+	// Fault-tolerance series: per-run retries issued by the retry wrapper,
+	// currently-open circuit breakers, jobs requeued from checkpoints on
+	// startup, and checkpoint-write latency.
+	retries         *obs.Counter
+	breakerOpen     *obs.Gauge
+	jobsResumed     *obs.Counter
+	checkpointWrite *obs.Histogram
 }
 
 func newServiceMetrics(r *obs.Registry, s *Service) *serviceMetrics {
@@ -45,6 +52,15 @@ func newServiceMetrics(r *obs.Registry, s *Service) *serviceMetrics {
 		failed:    jobSec(string(StateFailed)),
 		cancelled: jobSec(string(StateCancelled)),
 		runs:      runner.NewRunMetrics(r),
+		retries: r.Counter("locat_run_retries_total",
+			"Execution attempts retried after a transient backend fault."),
+		breakerOpen: r.Gauge("locat_breaker_open",
+			"Circuit breakers currently open across running sessions."),
+		jobsResumed: r.Counter("locat_jobs_resumed_total",
+			"Interrupted jobs requeued from checkpoints at startup."),
+		checkpointWrite: r.Histogram("locat_checkpoint_write_seconds",
+			"Wall-clock latency of checkpoint persistence.",
+			obs.DurationBuckets),
 	}
 }
 

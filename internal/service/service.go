@@ -131,9 +131,21 @@ type JobResult struct {
 	SparkConf string `json:"spark_conf"`
 	// Runs and ClusterSec are the execution tally the job's observed backend
 	// accumulated: every run the session issued (full apps, single queries,
-	// batch members) and the simulated cluster seconds they consumed.
+	// batch members) and the simulated cluster seconds they consumed. Runs
+	// served from a resume checkpoint are not re-executed and appear in
+	// ResumedRuns instead.
 	Runs       int64   `json:"runs"`
 	ClusterSec float64 `json:"cluster_sec"`
+	// ResumedRuns counts executions served from the job's checkpoint
+	// instead of re-executed after a restart.
+	ResumedRuns int64 `json:"resumed_runs,omitempty"`
+	// Degraded, when non-empty, records that the backend died mid-session
+	// and why; the result is the best configuration observed before death.
+	Degraded string `json:"degraded,omitempty"`
+	// FellBack reports the session's guardrail replaced the selected
+	// configuration with the Spark defaults because the selection evaluated
+	// worse.
+	FellBack bool `json:"fell_back,omitempty"`
 }
 
 // JobStatus is the externally visible snapshot of a job.
@@ -161,6 +173,13 @@ type job struct {
 	finished  time.Time
 	cancelled atomic.Bool
 	done      chan struct{}
+	// resume is the checkpoint the job restarts from (nil for fresh jobs):
+	// set at startup for jobs interrupted by a process death, and refreshed
+	// between in-process retry attempts.
+	resume *Checkpoint
+	// attempts counts failed attempts already consumed (Config.JobRetries
+	// bounds it).
+	attempts int
 	// timeline is the job's phase-span trace, set when the session starts.
 	// *obs.Timeline is internally synchronized, so the trace endpoint can
 	// snapshot it while the session is still appending spans.
@@ -195,7 +214,33 @@ type Config struct {
 	// counters). Nil allocates a private registry; pass one to share it
 	// with other instrumented components or expose it over HTTP.
 	Metrics *obs.Registry
+	// Resume requeues jobs whose checkpoints survived a process death: on
+	// startup, every checkpoint in the store becomes a queued job under its
+	// original ID, and its session serves already-paid runs from the
+	// checkpoint instead of re-executing them. Requires a Store implementing
+	// CheckpointStore (both built-ins do).
+	Resume bool
+	// JobRetries bounds the automatic in-process retries of failed jobs
+	// (default 0: a failed job stays failed). Retried jobs requeue under the
+	// same ID and resume from their checkpoint.
+	JobRetries int
+	// CheckpointEvery persists a job checkpoint after that many fresh
+	// executions (default 8; negative disables checkpointing).
+	CheckpointEvery int
+	// Chaos, when non-empty, wraps every session backend in deterministic
+	// fault injection plus the healing retry/breaker layer (a
+	// runner.ParseChaosSpec string, e.g. "drop=0.3,seed=7"). Meant for
+	// resilience testing; invalid specs disable chaos with a log line — use
+	// the public facade for validated construction.
+	Chaos string
 }
+
+// ErrQueueFull rejects a submission against a full job queue — the
+// admission-control signal the HTTP layer maps to 429.
+var ErrQueueFull = errors.New("service: queue full")
+
+// ErrClosed rejects a submission against a closed service (503 over HTTP).
+var ErrClosed = errors.New("service: closed")
 
 // Service is the concurrent tuning-session manager. Submit enqueues jobs
 // and returns immediately; a fixed pool of workers drains the queue. Every
@@ -216,6 +261,10 @@ type Service struct {
 	wg    sync.WaitGroup
 
 	metrics *serviceMetrics
+	// chaos is the parsed Config.Chaos fault schedule (nil: no injection).
+	chaos *runner.ChaosOptions
+	// checkpointEvery is the normalized Config.CheckpointEvery (0: disabled).
+	checkpointEvery int
 }
 
 // New starts a Service with cfg's worker pool.
@@ -243,11 +292,74 @@ func New(cfg Config) *Service {
 		queue:     make(chan *job, cfg.QueueCap),
 	}
 	s.metrics = newServiceMetrics(cfg.Metrics, s)
+	switch {
+	case cfg.CheckpointEvery == 0:
+		s.checkpointEvery = 8
+	case cfg.CheckpointEvery > 0:
+		s.checkpointEvery = cfg.CheckpointEvery
+	}
+	if cfg.Chaos != "" {
+		chaos, err := runner.ParseChaosSpec(cfg.Chaos)
+		if err != nil {
+			s.logf("invalid chaos spec: %v; fault injection disabled", err)
+		}
+		s.chaos = chaos
+	}
+	if cfg.Resume {
+		s.resumeCheckpointed()
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s
+}
+
+// resumeCheckpointed requeues every checkpointed job left behind by a dead
+// process, under its original ID and with the checkpoint attached, before
+// any worker starts — interrupted work drains ahead of new submissions.
+func (s *Service) resumeCheckpointed() {
+	cs, ok := s.store.(CheckpointStore)
+	if !ok || s.checkpointEvery <= 0 {
+		return
+	}
+	ids, err := cs.ListCheckpoints()
+	if err != nil {
+		s.logf("resume: listing checkpoints failed: %v", err)
+		return
+	}
+	for _, id := range ids {
+		cp, err := cs.GetCheckpoint(id)
+		if err != nil || cp == nil {
+			s.logf("resume: checkpoint %s unreadable: %v", id, err)
+			continue
+		}
+		j := &job{
+			id:        cp.JobID,
+			spec:      cp.Spec,
+			fp:        NewFingerprint(cp.Spec),
+			state:     StateQueued,
+			submitted: time.Now(),
+			done:      make(chan struct{}),
+			resume:    cp,
+		}
+		select {
+		case s.queue <- j:
+		default:
+			s.logf("resume: queue full; dropping checkpointed job %s", id)
+			continue
+		}
+		// Keep the ID sequence monotonic past every resumed job, so fresh
+		// submissions never collide with resumed IDs.
+		var n int
+		if _, err := fmt.Sscanf(cp.JobID, "job-%d", &n); err == nil && n > s.seq {
+			s.seq = n
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.metrics.jobsResumed.Inc()
+		s.logf("[%s] resumed from checkpoint: %d paid runs carried over", j.id, len(cp.Entries))
+	}
 }
 
 // Metrics returns the registry the service reports into.
@@ -292,15 +404,16 @@ func (s *Service) Submit(spec JobSpec) (string, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return "", errors.New("service: closed")
+		return "", ErrClosed
 	}
 	s.seq++
 	j.id = fmt.Sprintf("job-%06d", s.seq)
 	select {
 	case s.queue <- j:
 	default:
+		s.seq-- // admission refused; do not burn the ID
 		s.mu.Unlock()
-		return "", fmt.Errorf("service: queue full (%d jobs)", s.cfg.QueueCap)
+		return "", fmt.Errorf("%w (%d jobs)", ErrQueueFull, s.cfg.QueueCap)
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
@@ -518,11 +631,63 @@ func (s *Service) worker() {
 		case errors.Is(err, core.ErrStopped):
 			s.finish(j, StateCancelled, nil, nil)
 		case err != nil:
+			if s.requeueForRetry(j, err) {
+				continue
+			}
 			s.finish(j, StateFailed, nil, err)
 		default:
 			// A cancellation that lands after the last Stop poll loses the
 			// race: the session completed, so its result stands.
 			s.finish(j, StateSucceeded, res, nil)
+		}
+		// Terminal states retire the checkpoint: only jobs interrupted by a
+		// process death leave one behind for Resume to find.
+		s.dropCheckpoint(j.id)
+	}
+}
+
+// requeueForRetry puts a failed job back on the queue when the retry budget
+// allows, refreshed from its checkpoint so already-paid runs carry over.
+// Returns false when the job must finish as failed (budget exhausted,
+// cancellation requested, service closing, or queue full).
+func (s *Service) requeueForRetry(j *job, cause error) bool {
+	if s.cfg.JobRetries <= 0 || j.attempts >= s.cfg.JobRetries || j.cancelled.Load() {
+		return false
+	}
+	if cs, ok := s.store.(CheckpointStore); ok {
+		if cp, err := cs.GetCheckpoint(j.id); err == nil && cp != nil {
+			j.resume = cp
+		}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	requeued := false
+	select {
+	case s.queue <- j:
+		j.attempts++
+		j.state = StateQueued
+		j.submitted = time.Now()
+		requeued = true
+	default:
+	}
+	s.mu.Unlock()
+	if requeued {
+		s.logf("[%s] failed (%v); retry %d/%d queued", j.id, cause, j.attempts, s.cfg.JobRetries)
+	}
+	return requeued
+}
+
+// dropCheckpoint removes a finished job's checkpoint, if any.
+func (s *Service) dropCheckpoint(id string) {
+	if s.checkpointEvery <= 0 {
+		return
+	}
+	if cs, ok := s.store.(CheckpointStore); ok {
+		if err := cs.DeleteCheckpoint(id); err != nil {
+			s.logf("[%s] checkpoint delete failed: %v", id, err)
 		}
 	}
 }
@@ -584,11 +749,49 @@ func (s *Service) runJob(j *job) (*JobResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Fault layers, innermost first: chaos faults individual executions on a
+	// deterministic schedule, and the retry wrapper heals its transient
+	// drops (tripping a circuit breaker on persistent failure). Both are
+	// absent unless chaos is configured — the plain chain stays bit-exact
+	// with recorded traces.
+	inner := runner.Runner(raw)
+	var breakerTripped atomic.Bool
+	if s.chaos != nil {
+		inner = runner.NewRetrying(runner.NewChaos(inner, *s.chaos), runner.RetryOptions{
+			Seed:    spec.Seed,
+			OnRetry: s.metrics.retries.Inc,
+			OnBreakerOpen: func() {
+				breakerTripped.Store(true)
+				s.metrics.breakerOpen.Add(1)
+			},
+		})
+		defer func() {
+			if breakerTripped.Load() {
+				s.metrics.breakerOpen.Add(-1)
+			}
+		}()
+	}
 	// Every execution the session issues is charged to the job's tally and
 	// the service-wide run metrics; the wrapper is observational only, so
 	// replayed traces still match recorded ones bit for bit.
 	var tally runner.Tally
-	run := runner.Observe(raw, &tally, s.metrics.runs)
+	observed := runner.Observe(inner, &tally, s.metrics.runs)
+	run := runner.Runner(observed)
+	// The checkpoint cache sits outermost so resumed runs are served before
+	// they reach the tally — a resumed session's Runs counts only what it
+	// actually re-executed (the acceptance bar for resume is zero).
+	var cache *runner.Cache
+	if cs, ok := s.store.(CheckpointStore); ok && s.checkpointEvery > 0 {
+		ckp := newCheckpointer(cs, j, s.checkpointEvery, s.metrics, s.cfg.Logf)
+		var paid []runner.TraceEntry
+		if j.resume != nil && runner.CapsOf(raw).Deterministic {
+			// A deterministic backend re-drives the identical trajectory, so
+			// checkpointed runs answer the session's re-requests verbatim.
+			paid = j.resume.Entries
+		}
+		cache = runner.NewCache(run, paid, ckp.onRun)
+		run = cache
+	}
 	space := run.Space()
 
 	opts := core.DefaultOptions()
@@ -616,13 +819,30 @@ func (s *Service) runJob(j *job) (*JobResult, error) {
 			opts.Prior = prior
 		}
 	}
+	if j.resume != nil && !runner.CapsOf(raw).Deterministic && opts.UseDAGP {
+		// A non-deterministic backend (a live cluster) cannot replay its
+		// trajectory, so the checkpoint's paid observations re-enter as a
+		// warm-start prior instead of through the cache.
+		if p := checkpointPrior(j.resume); p != nil {
+			if opts.Prior == nil {
+				opts.Prior = p
+			} else {
+				opts.Prior.Obs = append(opts.Prior.Obs, p.Obs...)
+			}
+			s.logf("[%s] warm-starting from %d checkpointed observations", j.id, len(p.Obs))
+		}
+	}
 
 	rep, err := core.New(run, app, opts).Tune(spec.DataSizeGB)
 	if err != nil {
 		return nil, err
 	}
-	if err := runner.BackendErr(run); err != nil {
-		return nil, fmt.Errorf("service: execution backend failed: %w", err)
+	if rep.Degraded == "" {
+		if err := runner.BackendErr(run); err != nil {
+			return nil, fmt.Errorf("service: execution backend failed: %w", err)
+		}
+	} else {
+		s.logf("[%s] degraded: backend died mid-session (%s); recommending best observed", j.id, rep.Degraded)
 	}
 
 	res := &JobResult{
@@ -638,8 +858,13 @@ func (s *Service) runJob(j *job) (*JobResult, error) {
 		WarmStarted:  rep.WarmStarted,
 		PriorObsUsed: rep.PriorObsUsed,
 		SparkConf:    sparkConfString(rep.Best),
+		Degraded:     rep.Degraded,
+		FellBack:     rep.FellBack,
 	}
 	res.Runs, res.ClusterSec = tally.Snapshot()
+	if cache != nil {
+		res.ResumedRuns = cache.ResumedRuns()
+	}
 	if rep.QCSA != nil {
 		res.SensitiveQueries = append([]string(nil), rep.QCSA.Sensitive...)
 	}
@@ -652,6 +877,36 @@ func (s *Service) runJob(j *job) (*JobResult, error) {
 		s.logf("[%s] history store write failed: %v", j.id, err)
 	}
 	return res, nil
+}
+
+// checkpointPrior converts a checkpoint's successful full-application
+// executions into a warm-start prior — the resume path for backends whose
+// runs cannot be re-driven deterministically. Returns nil when the
+// checkpoint holds no usable observation.
+func checkpointPrior(cp *Checkpoint) *core.Prior {
+	p := &core.Prior{}
+	for _, e := range cp.Entries {
+		if e.Kind != runner.TraceApp || e.Result == nil || e.Result.Sec <= 0 {
+			continue
+		}
+		var qs map[string]float64
+		if len(e.Result.Queries) > 0 {
+			qs = make(map[string]float64, len(e.Result.Queries))
+			for _, qr := range e.Result.Queries {
+				qs[qr.Name] += qr.Sec
+			}
+		}
+		p.Obs = append(p.Obs, core.PriorObs{
+			Conf:      conf.Config(append([]float64(nil), e.Conf...)),
+			DataGB:    e.DataGB,
+			Sec:       e.Result.Sec,
+			QuerySecs: qs,
+		})
+	}
+	if len(p.Obs) == 0 {
+		return nil
+	}
+	return p
 }
 
 // retrievePrior assembles a core.Prior from history entries under the job's

@@ -69,12 +69,15 @@ type Store interface {
 // MemStore is the in-memory Store used by tests and by service instances
 // that do not need persistence across restarts.
 type MemStore struct {
-	mu sync.RWMutex
-	m  map[string][]Entry
+	mu  sync.RWMutex
+	m   map[string][]Entry
+	cps map[string]Checkpoint
 }
 
 // NewMemStore returns an empty in-memory store.
-func NewMemStore() *MemStore { return &MemStore{m: map[string][]Entry{}} }
+func NewMemStore() *MemStore {
+	return &MemStore{m: map[string][]Entry{}, cps: map[string]Checkpoint{}}
+}
 
 // Put implements Store.
 func (s *MemStore) Put(e Entry) error {

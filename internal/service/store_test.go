@@ -7,6 +7,8 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+
+	"locat/internal/runner"
 )
 
 func testEntry(jobID string, created int64) Entry {
@@ -235,5 +237,100 @@ func TestFileStoreKeysSkipsInvalidFilenames(t *testing.T) {
 		if _, err := fs.Get(k); err != nil {
 			t.Fatalf("listed key %q not readable: %v", k, err)
 		}
+	}
+}
+
+// checkpointRoundTrip exercises the CheckpointStore surface shared by both
+// built-in stores.
+func checkpointRoundTrip(t *testing.T, s CheckpointStore) {
+	t.Helper()
+	cp := Checkpoint{
+		JobID:       "job-000007",
+		Spec:        JobSpec{Cluster: "arm", Benchmark: "TPC-H", DataSizeGB: 100, Seed: 3},
+		Fingerprint: "arm_TPC-H_7_qid",
+		CreatedUnix: 4242,
+		Entries: []runner.TraceEntry{
+			{Kind: runner.TraceApp, Idx: 2, App: "TPC-H", NQ: 22,
+				Conf: []float64{1, 2, 3}, DataGB: 100,
+				Result: &runner.AppResult{Sec: 99.5, Queries: []runner.QueryResult{{Name: "q1", Sec: 9.5}}}},
+			{Kind: runner.TraceNoiseless, App: "TPC-H", NQ: 22,
+				Conf: []float64{1, 2, 3}, DataGB: 100, Sec: 88.25},
+		},
+	}
+	if got, err := s.GetCheckpoint(cp.JobID); err != nil || got != nil {
+		t.Fatalf("empty store GetCheckpoint = %+v, %v; want nil, nil", got, err)
+	}
+	if err := s.PutCheckpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetCheckpoint(cp.JobID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || !reflect.DeepEqual(*got, cp) {
+		t.Fatalf("checkpoint round trip mismatch:\n got  %+v\n want %+v", got, cp)
+	}
+	ids, err := s.ListCheckpoints()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != cp.JobID {
+		t.Fatalf("ListCheckpoints = %v", ids)
+	}
+	// Replacement, not append: a re-Put supersedes the previous snapshot.
+	cp2 := cp
+	cp2.Entries = cp.Entries[:1]
+	cp2.CreatedUnix = 4300
+	if err := s.PutCheckpoint(cp2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.GetCheckpoint(cp.JobID); got == nil || len(got.Entries) != 1 {
+		t.Fatalf("re-Put did not replace the checkpoint: %+v", got)
+	}
+	if err := s.DeleteCheckpoint(cp.JobID); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.GetCheckpoint(cp.JobID); got != nil {
+		t.Fatalf("checkpoint survived deletion: %+v", got)
+	}
+	// Deleting the absent checkpoint is a no-op, not an error.
+	if err := s.DeleteCheckpoint(cp.JobID); err != nil {
+		t.Fatal(err)
+	}
+	// Invalid job IDs are refused before touching the filesystem.
+	if _, err := s.GetCheckpoint("../escape"); err == nil {
+		if _, isMem := s.(*MemStore); !isMem {
+			t.Fatal("path-escaping checkpoint ID accepted")
+		}
+	}
+}
+
+func TestMemStoreCheckpointRoundTrip(t *testing.T) { checkpointRoundTrip(t, NewMemStore()) }
+
+func TestFileStoreCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkpointRoundTrip(t, fs)
+
+	// Checkpoints survive reopening the directory — the resume scenario.
+	cp := Checkpoint{JobID: "job-000009", Spec: JobSpec{Benchmark: "TPC-H"}}
+	if err := fs.PutCheckpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs2.GetCheckpoint(cp.JobID)
+	if err != nil || got == nil || got.Spec.Benchmark != "TPC-H" {
+		t.Fatalf("reopen lost the checkpoint: %+v, %v", got, err)
+	}
+	// Checkpoint files live in their own subdirectory and never shadow
+	// history shards.
+	if _, err := os.Stat(filepath.Join(dir, "checkpoints", cp.JobID+".json")); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -104,6 +104,16 @@ type Options struct {
 	// cost exactly; a replay that requests an execution absent from the
 	// trace fails hard under the default miss policy.
 	Backend string
+	// Chaos, when non-empty, wraps the backend in deterministic fault
+	// injection plus the healing retry/circuit-breaker layer — the
+	// resilience-testing harness. The spec is runner.ParseChaosSpec syntax,
+	// e.g. "drop=0.3,maxfail=2,seed=7": each injected fault is a pure
+	// function of (seed, run index, attempt), so a chaotic session is
+	// exactly reproducible. While the drop ceiling (maxfail) stays under
+	// the retry budget every fault heals and the tuned configuration is
+	// bit-identical to a fault-free session's; a sticky backend death
+	// instead degrades the session (see Result.Degraded).
+	Chaos string
 }
 
 // Result is the outcome of a tuning session.
@@ -135,6 +145,15 @@ type Result struct {
 	// ImportantParams lists the parameters IICP selected for tuning
 	// (nil when IICP is disabled).
 	ImportantParams []string
+	// Degraded, when non-empty, records that the execution backend died
+	// mid-session and why. The session still returns the best configuration
+	// it measured before death — never worse than the defaults, thanks to
+	// the fallback guardrail — instead of failing.
+	Degraded string
+	// FellBack reports that the final-selection guardrail replaced the
+	// session's choice with the Spark defaults because the choice evaluated
+	// worse at the target size.
+	FellBack bool
 	// Elapsed is the wall-clock time of the session.
 	Elapsed time.Duration
 	// Phases is the session's timeline, one entry per pipeline phase in
@@ -233,6 +252,16 @@ func Tune(o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if o.Chaos != "" {
+		chaos, err := runner.ParseChaosSpec(o.Chaos)
+		if err != nil {
+			return nil, err
+		}
+		// Injection below, healing above: drops and delays surface to the
+		// retry wrapper, which re-executes at the same run index — so a
+		// healed run's result is identical to a never-faulted one.
+		run = runner.NewRetrying(runner.NewChaos(run, *chaos), runner.RetryOptions{Seed: o.Seed})
+	}
 
 	opts := core.DefaultOptions()
 	opts.Seed = o.Seed
@@ -261,8 +290,13 @@ func Tune(o Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := runner.BackendErr(run); err != nil {
-		return nil, fmt.Errorf("locat: execution backend failed: %w", err)
+	// A degraded report already accounts for the backend failure — the
+	// session recommends the best configuration observed before death
+	// instead of erroring out.
+	if rep.Degraded == "" {
+		if err := runner.BackendErr(run); err != nil {
+			return nil, fmt.Errorf("locat: execution backend failed: %w", err)
+		}
 	}
 
 	res := &Result{
@@ -274,6 +308,8 @@ func Tune(o Options) (*Result, error) {
 		SamplingSeconds: rep.SamplingSec,
 		SearchSeconds:   rep.SearchSec,
 		WarmStarted:     rep.WarmStarted,
+		Degraded:        rep.Degraded,
+		FellBack:        rep.FellBack,
 		Runs:            rep.Evaluations(),
 		Elapsed:         time.Since(start),
 		Phases:          phasesOf(timeline.Snapshot()),

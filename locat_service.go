@@ -29,6 +29,20 @@ type ServiceOptions struct {
 	// "sparkrest=URL"; empty selects the simulator). Individual jobs may
 	// override it via Options.Backend.
 	Backend string
+	// Resume requeues jobs whose checkpoints survived a process death: on
+	// startup every checkpoint in the store becomes a queued job under its
+	// original ID, and the resumed session serves already-paid runs from
+	// the checkpoint instead of re-executing them. Meaningful together with
+	// HistoryDir (an in-memory store dies with the process).
+	Resume bool
+	// JobRetries bounds automatic in-process retries of failed jobs
+	// (default 0). Retried jobs resume from their checkpoint, so each
+	// attempt only pays for runs no earlier attempt completed.
+	JobRetries int
+	// Chaos, when non-empty, wraps every session backend in deterministic
+	// fault injection plus the healing retry/breaker layer (same spec
+	// syntax as Options.Chaos). Meant for resilience testing.
+	Chaos string
 }
 
 // JobState is a job's lifecycle position: "queued", "running", "succeeded",
@@ -76,7 +90,17 @@ func NewService(o ServiceOptions) (*Service, error) {
 	if _, err := runner.ParseSpec(o.Backend); err != nil {
 		return nil, err
 	}
-	cfg := service.Config{Workers: o.Workers, QueueCap: o.QueueCap, Backend: o.Backend}
+	if _, err := runner.ParseChaosSpec(o.Chaos); err != nil {
+		return nil, err
+	}
+	cfg := service.Config{
+		Workers:    o.Workers,
+		QueueCap:   o.QueueCap,
+		Backend:    o.Backend,
+		Resume:     o.Resume,
+		JobRetries: o.JobRetries,
+		Chaos:      o.Chaos,
+	}
 	if o.HistoryDir != "" {
 		fs, err := service.NewFileStore(o.HistoryDir)
 		if err != nil {
@@ -162,6 +186,8 @@ func (s *Service) Result(id string) (*Result, error) {
 		SamplingSeconds:  jr.SamplingSec,
 		SearchSeconds:    jr.SearchSec,
 		WarmStarted:      jr.WarmStarted,
+		Degraded:         jr.Degraded,
+		FellBack:         jr.FellBack,
 		Runs:             jr.FullRuns + jr.RQARuns,
 		SensitiveQueries: jr.SensitiveQueries,
 		ImportantParams:  jr.ImportantParams,

@@ -5,9 +5,14 @@
 // deterministic core: replaying a recorded trace, re-running with more
 // workers, or re-running on faster hardware must produce bit-identical
 // trajectories. time.Now/Since/Sleep smuggle the host's clock into that
-// computation. Wall timing belongs to the allowlisted observability edge —
-// internal/obs, internal/progress, internal/runner's meter, and
-// internal/service — which are outside the deterministic package set.
+// computation. Wall timing belongs to the allowlisted observability and
+// fault-tolerance edges — internal/obs, internal/progress, and the
+// internal/runner + internal/service layers (the meter's wall histograms,
+// the retry wrapper's backoff sleeps, the checkpoint writer's persistence
+// latency) — which are outside the deterministic package set. Those edges
+// stay determinism-safe by construction: backoff only delays a re-execution
+// whose result is a pure function of its run index, and checkpoint
+// timestamps never feed back into the search.
 package wallclock
 
 import (

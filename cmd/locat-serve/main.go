@@ -8,17 +8,19 @@
 //
 //	locat-serve -addr :8080 -store ./locat-history -workers 4 -resume
 //
-// API (JSON unless noted):
+// API (JSON unless noted; errors are {"error":{"code","message"}}):
 //
 //	POST   /v1/jobs            submit {"cluster","benchmark","data_size_gb",...}
-//	                           (429 when the queue is full, 503 when closing)
-//	GET    /v1/jobs            list jobs
+//	                           (422 invalid spec, 429 queue full, 503 closing)
+//	POST   /v1/recommend       zero-execution recommendation from the history
+//	                           store (synchronous; optional "refine" mode)
+//	GET    /v1/jobs            list jobs (limit/offset pagination, state= filter)
 //	GET    /v1/jobs/{id}       job status
 //	GET    /v1/jobs/{id}/result  finished job's result
 //	GET    /v1/jobs/{id}/conf    tuned spark-defaults.conf (text/plain)
 //	DELETE /v1/jobs/{id}       cancel
 //	GET    /v1/jobs/{id}/trace   the job's phase-span timeline
-//	GET    /v1/history         history-store summaries
+//	GET    /v1/history         history-store summaries (limit/offset pagination)
 //	GET    /v1/history/{key}   entries under one workload fingerprint
 //	GET    /healthz            liveness and job census by state
 //	GET    /metrics            Prometheus text exposition
@@ -26,9 +28,12 @@
 //
 // Example session:
 //
-//	curl -s -XPOST localhost:8080/v1/jobs -d '{"benchmark":"TPC-H","data_size_gb":100}'
+//	curl -s -XPOST -H 'Content-Type: application/json' localhost:8080/v1/jobs \
+//	     -d '{"benchmark":"TPC-H","data_size_gb":100}'
 //	curl -s localhost:8080/v1/jobs/job-000001
 //	curl -s localhost:8080/v1/jobs/job-000001/conf
+//	curl -s -XPOST -H 'Content-Type: application/json' localhost:8080/v1/recommend \
+//	     -d '{"benchmark":"TPC-H","data_size_gb":120}'
 package main
 
 import (
@@ -70,6 +75,10 @@ func parseFlags(args []string, stderr io.Writer) (cliConfig, error) {
 	fs.IntVar(&c.opts.QueueCap, "max-queue", 0, "maximum queued jobs before submissions are refused with 429 (0: default 256)")
 	fs.IntVar(&c.opts.JobRetries, "job-retries", 0, "automatic retries of failed jobs, each resuming from the job's checkpoint")
 	fs.StringVar(&c.opts.Chaos, "chaos", "", "deterministic fault-injection spec for resilience testing, e.g. drop=0.3,maxfail=2,seed=7")
+	fs.IntVar(&c.opts.RecommendK, "recommend-k", 0, "neighbors retrieved per /v1/recommend request (0: default 5)")
+	fs.Float64Var(&c.opts.RecommendMaxDistance, "recommend-max-dist", 0, "feature-space radius past which a history entry is not a neighbor (0: default 0.75)")
+	fs.Float64Var(&c.opts.RecommendConfidence, "recommend-confidence", 0, "confidence below which /v1/recommend falls back to a tuning job (0: default 0.5)")
+	fs.IntVar(&c.opts.MaxHistoryKeys, "max-history-keys", 0, "distinct workload fingerprints kept in the history store (0: default 1024, negative: unbounded)")
 	if err := fs.Parse(args); err != nil {
 		return cliConfig{}, err
 	}

@@ -7,6 +7,8 @@
 //	locat -bench TPC-DS -size 300 -compare     # also run the four baselines
 //	locat -quick -backend record=sess.trace    # record every execution
 //	locat -quick -backend replay=sess.trace    # replay it, simulator detached
+//	locat -recommend-from ./history -size 120  # zero-execution recommendation
+//	                                           # from a locat-serve history dir
 package main
 
 import (
@@ -30,6 +32,7 @@ func main() {
 		par     = flag.Int("parallel", 0, "concurrent execution slots for sample collection (0 = all cores, 1 = serial; identical results on the simulator)")
 		backend = flag.String("backend", "", "execution backend: sim (default), record=PATH, replay=PATH[,miss=nearest[,tol=T]], sparkrest=URL")
 		out     = flag.String("o", "", "write the tuned configuration to this spark-defaults.conf file")
+		recFrom = flag.String("recommend-from", "", "serve a zero-execution recommendation from this locat-serve history directory instead of tuning")
 	)
 	flag.Parse()
 
@@ -44,6 +47,43 @@ func main() {
 	}
 	if *quick {
 		o.NQCSA, o.NIICP, o.MaxIterations = 12, 10, 10
+	}
+
+	if *recFrom != "" {
+		rec, err := locat.RecommendFromHistory(*recFrom, o, locat.RecommendOptions{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "locat:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("LOCAT recommendation for %s at %.0f GB on the %s cluster: %s (confidence %.2f)\n",
+			*bench, *size, *cluster, rec.Outcome, rec.Confidence)
+		if len(rec.Neighbors) == 0 {
+			fmt.Println("  no similar past sessions in the history store; run a tuning job first")
+			os.Exit(1)
+		}
+		fmt.Printf("  estimated latency : %8.0f s (distance-weighted over %d neighbors, zero runs)\n",
+			rec.EstimatedSeconds, len(rec.Neighbors))
+		for _, n := range rec.Neighbors {
+			fmt.Printf("    %-28s dist %.3f weight %.2f tuned %.0f s @ %.0f GB (%d obs)\n",
+				n.JobID, n.Distance, n.Weight, n.TunedSeconds, n.TargetGB, n.Observations)
+		}
+		if *out != "" {
+			if err := os.WriteFile(*out, []byte(rec.SparkConf), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "locat:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("  wrote recommended spark-defaults.conf to %s\n", *out)
+		}
+		names := make([]string, 0, len(rec.BestParams))
+		for n := range rec.BestParams {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println("  recommended configuration:")
+		for _, n := range names {
+			fmt.Printf("    %-58s %g\n", n, rec.BestParams[n])
+		}
+		return
 	}
 
 	res, err := locat.Tune(o)

@@ -327,6 +327,10 @@ var Registry = map[string]func(*Session) ([]Table, error){
 	"fig19":  Fig19GCTime,
 	"fig20":  Fig20OverheadGrowth,
 	"fig21":  Fig21Hybrid,
+
+	// Beyond the paper: the service's zero-execution retrieval tier against
+	// cold and warm tuning on the same seeded neighborhood.
+	"retrieval": RetrievalTiers,
 }
 
 // IDs returns the registered experiment IDs in a stable order.

@@ -5,12 +5,23 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
 )
 
 // maxRequestBody caps POST bodies (a JobSpec is a few hundred bytes; 1 MiB
 // leaves generous headroom). Without the cap a single oversized request
 // would be buffered wholesale by the JSON decoder.
 const maxRequestBody = 1 << 20
+
+// defaultPageLimit and maxPageLimit bound list responses: a long-lived
+// service accumulates unbounded jobs/history, so GET /v1/jobs and
+// GET /v1/history window their (deterministically ordered) results with
+// limit/offset query parameters.
+const (
+	defaultPageLimit = 500
+	maxPageLimit     = 5000
+)
 
 // HistorySummary is the compact per-entry view of the history endpoints.
 type HistorySummary struct {
@@ -53,58 +64,97 @@ func (s *Service) History() ([]HistorySummary, error) {
 // Handler returns the service's HTTP API:
 //
 //	POST   /v1/jobs           submit a JobSpec, returns {"id": ...}
-//	                          (429 when the queue is full, 503 when closing)
-//	GET    /v1/jobs           list job statuses
+//	                          (422 invalid spec, 429 queue full, 503 closing)
+//	POST   /v1/recommend      zero-execution recommendation from the history
+//	                          store (synchronous; k-NN over past sessions)
+//	GET    /v1/jobs           list job statuses (limit/offset pagination,
+//	                          optional state= filter, X-Total-Count header)
 //	GET    /v1/jobs/{id}      one job's status (result embedded when done)
 //	GET    /v1/jobs/{id}/result  the finished job's full result (409 while running)
 //	GET    /v1/jobs/{id}/conf    the tuned spark-defaults.conf as text/plain
 //	DELETE /v1/jobs/{id}      request cancellation
 //	GET    /v1/jobs/{id}/trace   the job's phase-span timeline
-//	GET    /v1/history        history-store summaries
+//	GET    /v1/history        history-store summaries (limit/offset pagination)
 //	GET    /v1/history/{key}  full entries under one fingerprint key
 //	GET    /healthz           liveness + job census by state
 //	GET    /metrics           Prometheus text exposition
 //
-// Every request is timed into per-route latency histograms and counted by
-// route and status code; when the service has a logger, an access log line
-// is emitted per request (suppressed along with everything else when Logf
-// is nil).
+// Errors are a uniform envelope {"error":{"code":...,"message":...}} with a
+// stable machine-readable code; POST bodies must be application/json (415
+// otherwise). Every request is timed into per-route latency histograms and
+// counted by route and status code; when the service has a logger, an access
+// log line is emitted per request (suppressed along with everything else
+// when Logf is nil).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
 		var spec JobSpec
-		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-			var tooBig *http.MaxBytesError
-			if errors.As(err, &tooBig) {
-				httpError(w, http.StatusRequestEntityTooLarge,
-					fmt.Errorf("job spec exceeds %d bytes", tooBig.Limit))
-				return
-			}
-			httpError(w, http.StatusBadRequest, fmt.Errorf("decode job spec: %w", err))
+		if !decodeJSON(w, r, &spec) {
 			return
 		}
 		id, err := s.Submit(spec)
 		if err != nil {
 			// Admission control: a full queue is back-pressure (retry later),
 			// a closing service is unavailability — both distinct from a
-			// malformed spec.
+			// semantically invalid spec (422).
 			switch {
 			case errors.Is(err, ErrQueueFull):
 				httpError(w, http.StatusTooManyRequests, err)
 			case errors.Is(err, ErrClosed):
 				httpError(w, http.StatusServiceUnavailable, err)
 			default:
-				httpError(w, http.StatusBadRequest, err)
+				httpError(w, http.StatusUnprocessableEntity, err)
 			}
 			return
 		}
 		writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "state": string(StateQueued)})
 	})
 
+	mux.HandleFunc("POST /v1/recommend", func(w http.ResponseWriter, r *http.Request) {
+		var req RecommendRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		rec, err := s.Recommend(req)
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrQueueFull):
+				httpError(w, http.StatusTooManyRequests, err)
+			case errors.Is(err, ErrClosed):
+				httpError(w, http.StatusServiceUnavailable, err)
+			default:
+				httpError(w, http.StatusUnprocessableEntity, err)
+			}
+			return
+		}
+		writeJSON(w, http.StatusOK, rec)
+	})
+
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Jobs())
+		limit, offset, err := listWindow(r)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		jobs := s.Jobs() // submission order: deterministic
+		if v := r.URL.Query().Get("state"); v != "" {
+			switch st := State(v); st {
+			case StateQueued, StateRunning, StateSucceeded, StateFailed, StateCancelled:
+				kept := jobs[:0]
+				for _, j := range jobs {
+					if j.State == st {
+						kept = append(kept, j)
+					}
+				}
+				jobs = kept
+			default:
+				httpError(w, http.StatusUnprocessableEntity,
+					fmt.Errorf("unknown state %q", v))
+				return
+			}
+		}
+		writeJSON(w, http.StatusOK, window(w, jobs, limit, offset))
 	})
 
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
@@ -132,7 +182,7 @@ func (s *Service) Handler() http.Handler {
 				fmt.Errorf("job %s %s: %s", st.ID, st.State, st.Error))
 			return
 		}
-		writeJSON(w, http.StatusOK, st.Result)
+		writeJSON(w, http.StatusOK, resultAPI(st.Result))
 	})
 
 	mux.HandleFunc("GET /v1/jobs/{id}/conf", func(w http.ResponseWriter, r *http.Request) {
@@ -159,15 +209,17 @@ func (s *Service) Handler() http.Handler {
 	})
 
 	mux.HandleFunc("GET /v1/history", func(w http.ResponseWriter, r *http.Request) {
-		sums, err := s.History()
+		limit, offset, err := listWindow(r)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		sums, err := s.History() // sorted by key, oldest-first within a key
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, err)
 			return
 		}
-		if sums == nil {
-			sums = []HistorySummary{}
-		}
-		writeJSON(w, http.StatusOK, sums)
+		writeJSON(w, http.StatusOK, window(w, sums, limit, offset))
 	})
 
 	mux.HandleFunc("GET /v1/history/{key}", func(w http.ResponseWriter, r *http.Request) {
@@ -230,6 +282,163 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
+// apiError is the uniform error envelope of every /v1 endpoint:
+// {"error":{"code":"...","message":"..."}}. The code is a stable
+// machine-readable slug derived from the status, so clients branch on it
+// instead of parsing messages.
+type apiError struct {
+	Error apiErrorBody `json:"error"`
+}
+
+type apiErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errorCode maps a status to its envelope code.
+func errorCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusGone:
+		return "gone"
+	case http.StatusRequestEntityTooLarge:
+		return "payload_too_large"
+	case http.StatusUnsupportedMediaType:
+		return "unsupported_media_type"
+	case http.StatusUnprocessableEntity:
+		return "invalid_spec"
+	case http.StatusTooManyRequests:
+		return "queue_full"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	default:
+		return "internal"
+	}
+}
+
 func httpError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+	writeJSON(w, code, apiError{Error: apiErrorBody{Code: errorCode(code), Message: err.Error()}})
+}
+
+// decodeJSON enforces the POST contract: a JSON content type (415
+// otherwise; an absent Content-Type is tolerated), a bounded body (413 past
+// maxRequestBody) and well-formed JSON (400). It writes the error response
+// itself and reports whether the handler may proceed.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		mt, _, _ := strings.Cut(ct, ";")
+		if mt = strings.TrimSpace(strings.ToLower(mt)); mt != "application/json" {
+			httpError(w, http.StatusUnsupportedMediaType,
+				fmt.Errorf("content type %q not supported; send application/json", ct))
+			return false
+		}
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return false
+	}
+	return true
+}
+
+// listWindow parses the limit/offset pagination parameters (422 on
+// malformed or out-of-range values, written by the caller).
+func listWindow(r *http.Request) (limit, offset int, err error) {
+	limit = defaultPageLimit
+	if v := r.URL.Query().Get("limit"); v != "" {
+		limit, err = strconv.Atoi(v)
+		if err != nil || limit < 1 || limit > maxPageLimit {
+			return 0, 0, fmt.Errorf("limit must be an integer in [1, %d]", maxPageLimit)
+		}
+	}
+	if v := r.URL.Query().Get("offset"); v != "" {
+		offset, err = strconv.Atoi(v)
+		if err != nil || offset < 0 {
+			return 0, 0, errors.New("offset must be a non-negative integer")
+		}
+	}
+	return limit, offset, nil
+}
+
+// window applies the pagination window to a deterministically ordered list
+// and stamps the pre-window total into the X-Total-Count header.
+func window[T any](w http.ResponseWriter, list []T, limit, offset int) []T {
+	w.Header().Set("X-Total-Count", strconv.Itoa(len(list)))
+	if offset >= len(list) {
+		return []T{}
+	}
+	list = list[offset:]
+	if len(list) > limit {
+		list = list[:limit]
+	}
+	return list
+}
+
+// resultSchema versions the apiResult wire shape.
+const resultSchema = 1
+
+// apiResult is the versioned wire shape of GET /v1/jobs/{id}/result — the
+// one place the internal JobResult is mapped to JSON, so the response
+// contract survives internal refactors. Field tags mirror JobResult's
+// historical names; Schema announces the shape's version to clients.
+type apiResult struct {
+	Schema           int                `json:"schema"`
+	BestConfig       []float64          `json:"best_config"`
+	BestParams       map[string]float64 `json:"best_params"`
+	TunedSec         float64            `json:"tuned_sec"`
+	DefaultSec       float64            `json:"default_sec"`
+	OverheadSec      float64            `json:"overhead_sec"`
+	SamplingSec      float64            `json:"sampling_sec"`
+	SearchSec        float64            `json:"search_sec"`
+	FullRuns         int                `json:"full_runs"`
+	RQARuns          int                `json:"rqa_runs"`
+	WarmStarted      bool               `json:"warm_started"`
+	PriorObsUsed     int                `json:"prior_obs_used"`
+	SensitiveQueries []string           `json:"sensitive_queries,omitempty"`
+	ImportantParams  []string           `json:"important_params,omitempty"`
+	SparkConf        string             `json:"spark_conf"`
+	Runs             int64              `json:"runs"`
+	ClusterSec       float64            `json:"cluster_sec"`
+	ResumedRuns      int64              `json:"resumed_runs,omitempty"`
+	Degraded         string             `json:"degraded,omitempty"`
+	FellBack         bool               `json:"fell_back,omitempty"`
+	SeededFrom       []Neighbor         `json:"seeded_from,omitempty"`
+}
+
+// resultAPI renders a JobResult onto the wire shape.
+func resultAPI(res *JobResult) apiResult {
+	return apiResult{
+		Schema:           resultSchema,
+		BestConfig:       res.BestConfig,
+		BestParams:       res.BestParams,
+		TunedSec:         res.TunedSec,
+		DefaultSec:       res.DefaultSec,
+		OverheadSec:      res.OverheadSec,
+		SamplingSec:      res.SamplingSec,
+		SearchSec:        res.SearchSec,
+		FullRuns:         res.FullRuns,
+		RQARuns:          res.RQARuns,
+		WarmStarted:      res.WarmStarted,
+		PriorObsUsed:     res.PriorObsUsed,
+		SensitiveQueries: res.SensitiveQueries,
+		ImportantParams:  res.ImportantParams,
+		SparkConf:        res.SparkConf,
+		Runs:             res.Runs,
+		ClusterSec:       res.ClusterSec,
+		ResumedRuns:      res.ResumedRuns,
+		Degraded:         res.Degraded,
+		FellBack:         res.FellBack,
+		SeededFrom:       res.SeededFrom,
+	}
 }

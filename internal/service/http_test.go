@@ -171,19 +171,42 @@ func TestHTTPErrors(t *testing.T) {
 	defer srv.Close()
 	client := srv.Client()
 
-	// Malformed body.
+	// Malformed body: syntactically broken JSON is 400 with the envelope.
 	resp, err := client.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader("{"))
 	if err != nil {
 		t.Fatal(err)
 	}
+	var envBad apiError
+	if err := json.NewDecoder(resp.Body).Decode(&envBad); err != nil {
+		t.Fatal(err)
+	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("malformed submit = %d", resp.StatusCode)
+	if resp.StatusCode != http.StatusBadRequest || envBad.Error.Code != "bad_request" {
+		t.Fatalf("malformed submit = %d, envelope %+v", resp.StatusCode, envBad)
 	}
 
-	// Invalid spec.
+	// Invalid spec: semantically wrong (unknown cluster) is 422 with the
+	// structured envelope and a stable code.
+	var envelope apiError
 	doJSON(t, client, "POST", srv.URL+"/v1/jobs",
-		JobSpec{Cluster: "sparc"}, http.StatusBadRequest, nil)
+		JobSpec{Cluster: "sparc"}, http.StatusUnprocessableEntity, &envelope)
+	if envelope.Error.Code != "invalid_spec" || envelope.Error.Message == "" {
+		t.Fatalf("error envelope = %+v", envelope)
+	}
+
+	// A non-JSON content type is refused with 415 before decoding.
+	resp, err = client.Post(srv.URL+"/v1/jobs", "text/plain", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env415 apiError
+	if err := json.NewDecoder(resp.Body).Decode(&env415); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType || env415.Error.Code != "unsupported_media_type" {
+		t.Fatalf("text/plain submit = %d, envelope %+v", resp.StatusCode, env415)
+	}
 
 	// Unknown job everywhere.
 	for _, ep := range []string{"/v1/jobs/job-999999", "/v1/jobs/job-999999/result", "/v1/jobs/job-999999/conf"} {
@@ -249,5 +272,88 @@ func TestHTTPRequestBodyCapped(t *testing.T) {
 	r.Body.Close()
 	if r.StatusCode != http.StatusBadRequest {
 		t.Fatalf("traversal history key = %d, want 400", r.StatusCode)
+	}
+}
+
+// TestHTTPJobListPagination covers limit/offset windowing, the X-Total-Count
+// header, the state filter, and the 422s for malformed parameters.
+func TestHTTPJobListPagination(t *testing.T) {
+	// Workers: 0 would mean "default", so submit against a closed-for-work
+	// service isn't possible; instead use one worker and cancel nothing —
+	// queued order is the deterministic listing order either way.
+	svc := New(Config{Workers: 1, QueueCap: 64})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	var ids []string
+	for i := 0; i < 5; i++ {
+		var sub struct {
+			ID string `json:"id"`
+		}
+		doJSON(t, client, "POST", srv.URL+"/v1/jobs", quickSpec(100, int64(i+1)), http.StatusAccepted, &sub)
+		ids = append(ids, sub.ID)
+	}
+	for _, id := range ids {
+		waitDone(t, client, srv.URL, id)
+	}
+
+	// Window in the middle; the header carries the pre-window total.
+	req, _ := http.NewRequest("GET", srv.URL+"/v1/jobs?limit=2&offset=1", nil)
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var page []JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Total-Count"); got != "5" {
+		t.Fatalf("X-Total-Count = %q, want 5", got)
+	}
+	if len(page) != 2 || page[0].ID != ids[1] || page[1].ID != ids[2] {
+		t.Fatalf("page = %+v, want jobs %s,%s", page, ids[1], ids[2])
+	}
+
+	// Offset past the end: empty page, total still reported.
+	doJSON(t, client, "GET", srv.URL+"/v1/jobs?offset=99", nil, http.StatusOK, &page)
+	if len(page) != 0 {
+		t.Fatalf("past-end page = %+v", page)
+	}
+
+	// State filter: all five succeeded; filtering on failed is empty.
+	doJSON(t, client, "GET", srv.URL+"/v1/jobs?state=succeeded", nil, http.StatusOK, &page)
+	if len(page) != 5 {
+		t.Fatalf("succeeded filter = %d jobs, want 5", len(page))
+	}
+	doJSON(t, client, "GET", srv.URL+"/v1/jobs?state=failed", nil, http.StatusOK, &page)
+	if len(page) != 0 {
+		t.Fatalf("failed filter = %d jobs, want 0", len(page))
+	}
+
+	// Malformed parameters are 422 with the envelope.
+	for _, q := range []string{"limit=0", "limit=nope", "limit=999999", "offset=-1", "state=bogus"} {
+		var env apiError
+		doJSON(t, client, "GET", srv.URL+"/v1/jobs?"+q, nil, http.StatusUnprocessableEntity, &env)
+		if env.Error.Code != "invalid_spec" {
+			t.Fatalf("%s: envelope %+v", q, env)
+		}
+	}
+
+	// History pagination shares the same plumbing.
+	req, _ = http.NewRequest("GET", srv.URL+"/v1/history?limit=2", nil)
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sums []HistorySummary
+	if err := json.NewDecoder(resp.Body).Decode(&sums); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Total-Count") != "5" || len(sums) != 2 {
+		t.Fatalf("history page: total %q, %d rows", resp.Header.Get("X-Total-Count"), len(sums))
 	}
 }

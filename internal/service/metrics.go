@@ -22,7 +22,15 @@ type serviceMetrics struct {
 	breakerOpen     *obs.Gauge
 	jobsResumed     *obs.Counter
 	checkpointWrite *obs.Histogram
+	// Recommendation-tier series: requests by outcome and the k-NN
+	// retrieval latency. Every outcome is pre-registered so a scrape shows
+	// zeroes, not absences.
+	recommend map[string]*obs.Counter
+	retrieval *obs.Histogram
 }
+
+// recommendOutcomes are the label values of locat_recommend_total.
+var recommendOutcomes = []string{"hit", "refine", "fallback", "miss", "error"}
 
 func newServiceMetrics(r *obs.Registry, s *Service) *serviceMetrics {
 	for _, st := range []struct {
@@ -44,7 +52,16 @@ func newServiceMetrics(r *obs.Registry, s *Service) *serviceMetrics {
 			"Wall-clock session duration of finished jobs.",
 			obs.DurationBuckets, "state", state)
 	}
+	recommend := make(map[string]*obs.Counter, len(recommendOutcomes))
+	for _, oc := range recommendOutcomes {
+		recommend[oc] = r.Counter("locat_recommend_total",
+			"Zero-execution recommendation requests by outcome.", "outcome", oc)
+	}
 	return &serviceMetrics{
+		recommend: recommend,
+		retrieval: r.Histogram("locat_recommend_retrieval_seconds",
+			"Wall-clock latency of k-NN retrieval behind /v1/recommend.",
+			obs.DurationBuckets),
 		queueWait: r.Histogram("locat_job_queue_wait_seconds",
 			"Wall-clock time jobs spent queued before a worker picked them up.",
 			obs.DurationBuckets),
@@ -62,6 +79,14 @@ func newServiceMetrics(r *obs.Registry, s *Service) *serviceMetrics {
 			"Wall-clock latency of checkpoint persistence.",
 			obs.DurationBuckets),
 	}
+}
+
+// recommendOutcome returns the counter for a recommendation outcome.
+func (m *serviceMetrics) recommendOutcome(oc string) *obs.Counter {
+	if c, ok := m.recommend[oc]; ok {
+		return c
+	}
+	return m.recommend["error"]
 }
 
 // jobSeconds returns the duration histogram for a terminal state.

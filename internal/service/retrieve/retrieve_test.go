@@ -1,0 +1,165 @@
+package retrieve
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func wl(log2GB float64) Workload {
+	return Workload{
+		Log2GB: log2GB, Queries: 22, JoinFrac: 0.5, AggFrac: 0.3,
+		ShuffleFrac: 0.4, InputFrac: 0.5, Stages: 3, CPUWeight: 1,
+		TotalCores: 384, QCSA: 1, IICP: 1, DAGP: 1,
+	}
+}
+
+func TestVectorDistances(t *testing.T) {
+	base := wl(6.6)
+	if d := Distance(base.Vector(), base.Vector()); d != 0 {
+		t.Fatalf("self distance = %v", d)
+	}
+	// One power of two away: a near neighbor, inside the default radius.
+	near := Distance(base.Vector(), wl(7.6).Vector())
+	if near <= 0 || near > 0.3 {
+		t.Fatalf("adjacent-size distance = %v, want (0, 0.3]", near)
+	}
+	// A different cluster architecture is far outside any sane radius.
+	other := base
+	other.ClusterCode = 1
+	if d := Distance(base.Vector(), other.Vector()); d < 1.5 {
+		t.Fatalf("cross-cluster distance = %v, want >= 1.5", d)
+	}
+	// A disabled technique bit pushes past the default radius too.
+	noQCSA := base
+	noQCSA.QCSA = 0
+	if d := Distance(base.Vector(), noQCSA.Vector()); d < 0.9 {
+		t.Fatalf("technique-mismatch distance = %v, want >= 0.9", d)
+	}
+	// Mismatched dimensionality is incomparable.
+	if d := Distance(base.Vector(), []float64{1, 2}); !math.IsInf(d, 1) {
+		t.Fatalf("mismatched dims distance = %v, want +Inf", d)
+	}
+}
+
+func TestNearestDeterministicOrder(t *testing.T) {
+	ix := NewIndex()
+	// Two items at the identical distance: the tie must break on ID no
+	// matter the insertion order.
+	ix.Upsert(Item{ID: "b", Key: "k", Vec: []float64{1, 0}})
+	ix.Upsert(Item{ID: "a", Key: "k", Vec: []float64{0, 1}})
+	ix.Upsert(Item{ID: "c", Key: "k", Vec: []float64{3, 0}})
+	got := ix.Nearest([]float64{0, 0}, 2, 0)
+	if len(got) != 2 || got[0].ID != "a" || got[1].ID != "b" {
+		t.Fatalf("Nearest = %+v, want a then b", got)
+	}
+	// The radius cut excludes the far item even with room in k.
+	got = ix.Nearest([]float64{0, 0}, 10, 2)
+	if len(got) != 2 {
+		t.Fatalf("radius cut kept %d items, want 2", len(got))
+	}
+	if got := ix.Nearest([]float64{0, 0}, 0, 0); got != nil {
+		t.Fatalf("k=0 returned %+v", got)
+	}
+}
+
+func TestUpsertRemoveCompact(t *testing.T) {
+	ix := NewIndex()
+	ix.Upsert(Item{ID: "x", Key: "k1", Vec: []float64{1}})
+	ix.Upsert(Item{ID: "x", Key: "k1", Vec: []float64{2}}) // replace
+	ix.Upsert(Item{ID: "y", Key: "k2", Vec: []float64{3}})
+	if ix.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", ix.Len())
+	}
+	if got := ix.Nearest([]float64{2}, 1, 0); got[0].ID != "x" || got[0].Dist != 0 {
+		t.Fatalf("upsert did not replace: %+v", got)
+	}
+	if n := ix.Compact(func(it Item) bool { return it.Key != "k2" }); n != 1 {
+		t.Fatalf("Compact dropped %d, want 1", n)
+	}
+	ix.Remove("x")
+	ix.Remove("x") // no-op
+	if ix.Len() != 0 {
+		t.Fatalf("Len = %d after removals, want 0", ix.Len())
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "knn.index")
+	ix := NewIndex()
+	ix.Upsert(Item{ID: "a", Key: "k1", Vec: wl(6.6).Vector()})
+	ix.Upsert(Item{ID: "b", Key: "k2", Vec: wl(7.6).Vector()})
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got := Load(path)
+	if got.Len() != 2 {
+		t.Fatalf("loaded %d items, want 2", got.Len())
+	}
+	a, b := ix.Items(), got.Items()
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Key != b[i].Key || Distance(a[i].Vec, b[i].Vec) != 0 {
+			t.Fatalf("round trip diverged: %+v vs %+v", a[i], b[i])
+		}
+	}
+	// Removal compacts on the next Save: the file holds only live items.
+	ix.Remove("a")
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if got := Load(path); got.Len() != 1 || !got.Has("b") {
+		t.Fatalf("compacted index = %+v", got.Items())
+	}
+}
+
+func TestLoadToleratesMissingAndCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	if ix := Load(filepath.Join(dir, "absent")); ix.Len() != 0 {
+		t.Fatal("missing file must load empty")
+	}
+	bad := filepath.Join(dir, "corrupt")
+	if err := os.WriteFile(bad, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if ix := Load(bad); ix.Len() != 0 {
+		t.Fatal("corrupt file must load empty")
+	}
+	// A schema bump invalidates older files wholesale.
+	old := filepath.Join(dir, "oldschema")
+	if err := os.WriteFile(old, []byte(`{"schema":0,"items":[{"id":"a","key":"k","vec":[1]}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if ix := Load(old); ix.Len() != 0 {
+		t.Fatal("schema-mismatched file must load empty")
+	}
+}
+
+func TestWeightsBlendConfidence(t *testing.T) {
+	ws := Weights([]float64{0, 0.5})
+	if math.Abs(ws[0]+ws[1]-1) > 1e-12 || ws[0] <= ws[1] {
+		t.Fatalf("Weights = %v, want normalized and nearest-heavy", ws)
+	}
+	blend := Blend([][]float64{{0, 1}, {1, 0}}, []float64{0.75, 0.25})
+	if math.Abs(blend[0]-0.25) > 1e-12 || math.Abs(blend[1]-0.75) > 1e-12 {
+		t.Fatalf("Blend = %v", blend)
+	}
+	if Blend(nil, nil) != nil {
+		t.Fatal("empty blend must be nil")
+	}
+	// One perfect neighbor is thin evidence; three saturate.
+	if c := Confidence([]float64{0}, 5, 0.75); math.Abs(c-1.0/3) > 1e-12 {
+		t.Fatalf("single-neighbor confidence = %v, want 1/3", c)
+	}
+	if c := Confidence([]float64{0, 0, 0}, 5, 0.75); c != 1 {
+		t.Fatalf("three-neighbor confidence = %v, want 1", c)
+	}
+	// Out-of-radius distances contribute nothing; degenerate inputs score 0.
+	if c := Confidence([]float64{2}, 5, 0.75); c != 0 {
+		t.Fatalf("far-neighbor confidence = %v, want 0", c)
+	}
+	if Confidence(nil, 0, 0.75) != 0 || Confidence(nil, 5, 0) != 0 {
+		t.Fatal("degenerate confidence must be 0")
+	}
+}

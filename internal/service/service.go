@@ -146,6 +146,9 @@ type JobResult struct {
 	// configuration with the Spark defaults because the selection evaluated
 	// worse.
 	FellBack bool `json:"fell_back,omitempty"`
+	// SeededFrom is the retrieval provenance of a refine or fallback job:
+	// the history neighbors whose observations seeded this session.
+	SeededFrom []Neighbor `json:"seeded_from,omitempty"`
 }
 
 // JobStatus is the externally visible snapshot of a job.
@@ -177,6 +180,11 @@ type job struct {
 	// set at startup for jobs interrupted by a process death, and refreshed
 	// between in-process retry attempts.
 	resume *Checkpoint
+	// seed, when non-nil, is the warm-start prior retrieved by the
+	// recommendation engine (refine / fallback jobs); seededFrom is its
+	// neighbor provenance, surfaced in the result.
+	seed       *core.Prior
+	seededFrom []Neighbor
 	// attempts counts failed attempts already consumed (Config.JobRetries
 	// bounds it).
 	attempts int
@@ -233,6 +241,17 @@ type Config struct {
 	// resilience testing; invalid specs disable chaos with a log line — use
 	// the public facade for validated construction.
 	Chaos string
+	// RecommendK, RecommendMaxDistance and RecommendConfidence are the
+	// defaults of the zero-execution recommendation tier (0 picks 5 / 0.75
+	// / 0.5); individual requests may override them.
+	RecommendK           int
+	RecommendMaxDistance float64
+	RecommendConfidence  float64
+	// MaxHistoryKeys caps the distinct fingerprint keys the history store
+	// retains (default 1024; negative: unbounded). Beyond the cap the least
+	// recently written key is evicted wholesale, so the store and its k-NN
+	// index stay bounded on a long-lived service.
+	MaxHistoryKeys int
 }
 
 // ErrQueueFull rejects a submission against a full job queue — the
@@ -260,6 +279,10 @@ type Service struct {
 	queue chan *job
 	wg    sync.WaitGroup
 
+	// rec is the zero-execution recommendation engine (k-NN retrieval over
+	// the history store).
+	rec *Recommender
+
 	metrics *serviceMetrics
 	// chaos is the parsed Config.Chaos fault schedule (nil: no injection).
 	chaos *runner.ChaosOptions
@@ -284,6 +307,14 @@ func New(cfg Config) *Service {
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.NewRegistry()
 	}
+	if cfg.MaxHistoryKeys == 0 {
+		cfg.MaxHistoryKeys = 1024
+	}
+	if cfg.MaxHistoryKeys > 0 {
+		if capped, ok := cfg.Store.(interface{ SetMaxKeys(int) }); ok {
+			capped.SetMaxKeys(cfg.MaxHistoryKeys)
+		}
+	}
 	s := &Service{
 		cfg:       cfg,
 		store:     cfg.Store,
@@ -292,6 +323,9 @@ func New(cfg Config) *Service {
 		queue:     make(chan *job, cfg.QueueCap),
 	}
 	s.metrics = newServiceMetrics(cfg.Metrics, s)
+	s.rec = NewRecommender(cfg.Store)
+	s.rec.logf = cfg.Logf
+	s.rec.maxPriorObs = cfg.MaxPriorObs
 	switch {
 	case cfg.CheckpointEvery == 0:
 		s.checkpointEvery = 8
@@ -391,15 +425,23 @@ func (s *Service) factory(spec string) (*runner.Factory, error) {
 
 // Submit validates and enqueues a job, returning its ID immediately.
 func (s *Service) Submit(spec JobSpec) (string, error) {
+	return s.submit(spec, nil, nil)
+}
+
+// submit is Submit plus the recommendation tier's seeding: refine and
+// fallback jobs carry the retrieved prior and its provenance.
+func (s *Service) submit(spec JobSpec, seed *core.Prior, from []Neighbor) (string, error) {
 	if err := spec.normalize(); err != nil {
 		return "", err
 	}
 	j := &job{
-		spec:      spec,
-		fp:        NewFingerprint(spec),
-		state:     StateQueued,
-		submitted: time.Now(),
-		done:      make(chan struct{}),
+		spec:       spec,
+		fp:         NewFingerprint(spec),
+		state:      StateQueued,
+		submitted:  time.Now(),
+		done:       make(chan struct{}),
+		seed:       seed,
+		seededFrom: from,
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -813,8 +855,13 @@ func (s *Service) runJob(j *job) (*JobResult, error) {
 	opts.Tracer = j.timeline
 
 	if !spec.ColdStart && opts.UseDAGP {
-		prior, n := s.retrievePrior(j, space)
-		if prior != nil {
+		if j.seed != nil {
+			// Refine/fallback jobs are seeded with the recommendation
+			// engine's k-NN retrieval, which supersedes the fingerprint
+			// lookup (its neighbor set is a superset of the bucket walk).
+			opts.Prior = j.seed
+			s.logf("[%s] seeded with %d neighbor observations from retrieval", j.id, len(j.seed.Obs))
+		} else if prior, n := s.retrievePrior(j, space); prior != nil {
 			s.logf("[%s] retrieved %d prior observations from history", j.id, n)
 			opts.Prior = prior
 		}
@@ -860,6 +907,7 @@ func (s *Service) runJob(j *job) (*JobResult, error) {
 		SparkConf:    sparkConfString(rep.Best),
 		Degraded:     rep.Degraded,
 		FellBack:     rep.FellBack,
+		SeededFrom:   j.seededFrom,
 	}
 	res.Runs, res.ClusterSec = tally.Snapshot()
 	if cache != nil {
@@ -1003,7 +1051,13 @@ func (s *Service) persist(j *job, rep *core.Report, res *JobResult) error {
 			QuerySecs: ev.QuerySecs,
 		})
 	}
-	return s.store.Put(e)
+	if err := s.store.Put(e); err != nil {
+		return err
+	}
+	// Index the fresh entry (and drop whatever the per-key cap evicted) so
+	// the recommendation tier sees it immediately.
+	s.rec.Sync(e.Fingerprint.Key())
+	return nil
 }
 
 // sparkConfString renders a configuration in spark-defaults.conf syntax.

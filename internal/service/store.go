@@ -69,14 +69,27 @@ type Store interface {
 // MemStore is the in-memory Store used by tests and by service instances
 // that do not need persistence across restarts.
 type MemStore struct {
-	mu  sync.RWMutex
-	m   map[string][]Entry
-	cps map[string]Checkpoint
+	mu      sync.RWMutex
+	m       map[string][]Entry
+	cps     map[string]Checkpoint
+	maxKeys int
 }
 
 // NewMemStore returns an empty in-memory store.
 func NewMemStore() *MemStore {
 	return &MemStore{m: map[string][]Entry{}, cps: map[string]Checkpoint{}}
+}
+
+// SetMaxKeys caps the number of distinct fingerprint keys (0 or negative:
+// unbounded). When a Put pushes the store past the cap, whole keys are
+// evicted least-recently-written first (by the newest entry's CreatedUnix,
+// ties on key order), so a long-lived service's store stays bounded no
+// matter how many distinct workloads pass through it.
+func (s *MemStore) SetMaxKeys(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maxKeys = n
+	s.evictLocked()
 }
 
 // Put implements Store.
@@ -85,7 +98,26 @@ func (s *MemStore) Put(e Entry) error {
 	defer s.mu.Unlock()
 	k := e.Fingerprint.Key()
 	s.m[k] = capEntries(append(s.m[k], e))
+	s.evictLocked()
 	return nil
+}
+
+// evictLocked enforces the key cap.
+func (s *MemStore) evictLocked() {
+	if s.maxKeys <= 0 {
+		return
+	}
+	for len(s.m) > s.maxKeys {
+		victim := ""
+		var oldest int64
+		for k, es := range s.m {
+			newest := es[len(es)-1].CreatedUnix // capEntries sorts ascending
+			if victim == "" || newest < oldest || (newest == oldest && k < victim) {
+				victim, oldest = k, newest
+			}
+		}
+		delete(s.m, victim)
+	}
 }
 
 // Get implements Store.
@@ -111,8 +143,9 @@ func (s *MemStore) Keys() ([]string, error) {
 // directory, written atomically (temp file + rename), so a service restart
 // resumes with everything past sessions learned.
 type FileStore struct {
-	dir string
-	mu  sync.Mutex
+	dir     string
+	mu      sync.Mutex
+	maxKeys int
 }
 
 // NewFileStore opens (creating if needed) a file-backed store in dir.
@@ -159,7 +192,62 @@ func (s *FileStore) Put(e Entry) error {
 	if err := os.Rename(tmp, p); err != nil {
 		return fmt.Errorf("service: commit history: %w", err)
 	}
+	s.evictLocked()
 	return nil
+}
+
+// SetMaxKeys caps the number of shard files (0 or negative: unbounded),
+// evicting whole keys least-recently-written first — the FileStore analogue
+// of MemStore.SetMaxKeys, ordered by shard modification time.
+func (s *FileStore) SetMaxKeys(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maxKeys = n
+	s.evictLocked()
+}
+
+// IndexPath is where the recommender persists its k-NN index, next to the
+// shards. The name carries no .json suffix, so Keys never mistakes the
+// index for a history shard.
+func (s *FileStore) IndexPath() string { return filepath.Join(s.dir, "knn.index") }
+
+// evictLocked enforces the key cap by deleting the oldest shard files.
+func (s *FileStore) evictLocked() {
+	if s.maxKeys <= 0 {
+		return
+	}
+	des, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	type shard struct {
+		key string
+		mod int64
+	}
+	var shards []shard
+	for _, de := range des {
+		n := de.Name()
+		if !strings.HasSuffix(n, ".json") || !ValidKey(strings.TrimSuffix(n, ".json")) {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		shards = append(shards, shard{key: strings.TrimSuffix(n, ".json"), mod: info.ModTime().UnixNano()})
+	}
+	if len(shards) <= s.maxKeys {
+		return
+	}
+	sort.Slice(shards, func(a, b int) bool {
+		if shards[a].mod != shards[b].mod {
+			return shards[a].mod < shards[b].mod
+		}
+		return shards[a].key < shards[b].key
+	})
+	for _, sh := range shards[:len(shards)-s.maxKeys] {
+		_ = os.Remove(filepath.Join(s.dir, sh.key+".json"))
+	}
 }
 
 // Get implements Store.

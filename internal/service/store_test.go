@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"locat/internal/runner"
 )
@@ -332,5 +333,79 @@ func TestFileStoreCheckpointRoundTrip(t *testing.T) {
 	// history shards.
 	if _, err := os.Stat(filepath.Join(dir, "checkpoints", cp.JobID+".json")); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// bucketEntry is testEntry under a distinct fingerprint key per bucket.
+func bucketEntry(jobID string, created int64, bucket int) Entry {
+	e := testEntry(jobID, created)
+	e.Fingerprint.SizeBucket = bucket
+	return e
+}
+
+func TestMemStoreMaxKeys(t *testing.T) {
+	s := NewMemStore()
+	s.SetMaxKeys(2)
+	for i := 0; i < 3; i++ {
+		// Key i's newest entry is older for smaller i.
+		if err := s.Put(bucketEntry(fmt.Sprintf("job-%06d", i+1), int64(1000+i), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys, err := s.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		bucketEntry("x", 0, 1).Fingerprint.Key(),
+		bucketEntry("x", 0, 2).Fingerprint.Key(),
+	}
+	if !reflect.DeepEqual(keys, want) {
+		t.Fatalf("keys after eviction = %v, want %v (oldest key evicted)", keys, want)
+	}
+	// A fresh entry under a surviving key does not evict anything further.
+	if err := s.Put(bucketEntry("job-000009", 2000, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if keys, _ = s.Keys(); len(keys) != 2 {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestFileStoreMaxKeys(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for i := 0; i < 3; i++ {
+		e := bucketEntry(fmt.Sprintf("job-%06d", i+1), int64(1000+i), i)
+		if err := fs.Put(e); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, filepath.Join(dir, e.Fingerprint.Key()+".json"))
+	}
+	// Eviction orders shards by modification time; make it unambiguous.
+	for i, p := range paths {
+		mt := time.Unix(int64(10000+i), 0)
+		if err := os.Chtimes(p, mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs.SetMaxKeys(2)
+	keys, err := fs.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		bucketEntry("x", 0, 1).Fingerprint.Key(),
+		bucketEntry("x", 0, 2).Fingerprint.Key(),
+	}
+	if !reflect.DeepEqual(keys, want) {
+		t.Fatalf("keys after eviction = %v, want %v (oldest shard evicted)", keys, want)
+	}
+	if _, err := os.Stat(paths[0]); !os.IsNotExist(err) {
+		t.Fatalf("evicted shard still on disk: %v", err)
 	}
 }

@@ -43,6 +43,19 @@ type ServiceOptions struct {
 	// fault injection plus the healing retry/breaker layer (same spec
 	// syntax as Options.Chaos). Meant for resilience testing.
 	Chaos string
+	// RecommendK, RecommendMaxDistance and RecommendConfidence are the
+	// service defaults of the zero-execution recommendation tier: neighbors
+	// retrieved per request, the distance past which a history entry no
+	// longer counts as a neighbor, and the confidence below which a
+	// recommendation falls back to a real tuning job. Zero picks 5 / 0.75 /
+	// 0.5.
+	RecommendK           int
+	RecommendMaxDistance float64
+	RecommendConfidence  float64
+	// MaxHistoryKeys caps the history store's distinct workload fingerprints
+	// (whole least-recently-written keys are evicted past the cap). Zero
+	// picks 1024; negative is unbounded.
+	MaxHistoryKeys int
 }
 
 // JobState is a job's lifecycle position: "queued", "running", "succeeded",
@@ -94,12 +107,16 @@ func NewService(o ServiceOptions) (*Service, error) {
 		return nil, err
 	}
 	cfg := service.Config{
-		Workers:    o.Workers,
-		QueueCap:   o.QueueCap,
-		Backend:    o.Backend,
-		Resume:     o.Resume,
-		JobRetries: o.JobRetries,
-		Chaos:      o.Chaos,
+		Workers:              o.Workers,
+		QueueCap:             o.QueueCap,
+		Backend:              o.Backend,
+		Resume:               o.Resume,
+		JobRetries:           o.JobRetries,
+		Chaos:                o.Chaos,
+		RecommendK:           o.RecommendK,
+		RecommendMaxDistance: o.RecommendMaxDistance,
+		RecommendConfidence:  o.RecommendConfidence,
+		MaxHistoryKeys:       o.MaxHistoryKeys,
 	}
 	if o.HistoryDir != "" {
 		fs, err := service.NewFileStore(o.HistoryDir)
@@ -262,6 +279,137 @@ func (s *Service) History() ([]HistoryEntry, error) {
 		})
 	}
 	return out, nil
+}
+
+// RecommendOptions tune one zero-execution recommendation.
+type RecommendOptions struct {
+	// K is the number of nearest history entries to retrieve (0: the
+	// service default, normally 5).
+	K int
+	// MaxDistance is the feature-space radius past which a history entry no
+	// longer counts as a neighbor (0: the service default, normally 0.75).
+	MaxDistance float64
+	// MinConfidence is the retrieval-evidence score below which the
+	// recommendation is a miss (0: the service default, normally 0.5).
+	MinConfidence float64
+	// Refine, on a confident hit, additionally submits a background tuning
+	// job seeded with the retrieved neighbors; its ID is reported as
+	// RefineJobID. Serve the blended config now, converge later.
+	Refine bool
+	// NoFallback suppresses the automatic tuning job on a low-confidence
+	// miss.
+	NoFallback bool
+}
+
+// RecommendedNeighbor is the provenance of one retrieved history entry.
+type RecommendedNeighbor struct {
+	// JobID produced the entry; Key is its workload-fingerprint key.
+	JobID, Key string
+	// Distance is the feature-space distance to the request's workload;
+	// Weight is the entry's share of the blended configuration.
+	Distance, Weight float64
+	// TunedSeconds and TargetGB mirror the stored session.
+	TunedSeconds, TargetGB float64
+	// Observations is the number of stored tuning runs backing the entry.
+	Observations int
+}
+
+// Recommendation is a zero-execution recommendation: a configuration blended
+// from the nearest past tuning sessions, served without a single sample run.
+type Recommendation struct {
+	// Outcome is "hit" (served from retrieval), "fallback" (low confidence;
+	// a tuning job was submitted as RefineJobID) or "miss" (low confidence
+	// with NoFallback set).
+	Outcome string
+	// BestParams and SparkConf are the distance-weighted blend of the
+	// neighbors' best configurations, snapped onto the knob space.
+	BestParams map[string]float64
+	SparkConf  string
+	// Confidence in [0,1] scores the retrieval evidence.
+	Confidence float64
+	// EstimatedSeconds is the distance-weighted mean of the neighbors'
+	// tuned latencies — an expectation, not a measurement.
+	EstimatedSeconds float64
+	// Neighbors is the retrieval provenance, nearest first.
+	Neighbors []RecommendedNeighbor
+	// RefineJobID is the background tuning job of a refine hit or a
+	// fallback; RefineError records a refine submission that failed.
+	RefineJobID string
+	RefineError string
+}
+
+func recommendationOf(rec *service.Recommendation) *Recommendation {
+	out := &Recommendation{
+		Outcome:          rec.Outcome,
+		BestParams:       rec.BestParams,
+		SparkConf:        rec.SparkConf,
+		Confidence:       rec.Confidence,
+		EstimatedSeconds: rec.EstimatedSec,
+		RefineJobID:      rec.RefineJobID,
+		RefineError:      rec.RefineError,
+	}
+	for _, n := range rec.Neighbors {
+		out.Neighbors = append(out.Neighbors, RecommendedNeighbor{
+			JobID:        n.JobID,
+			Key:          n.Key,
+			Distance:     n.Distance,
+			Weight:       n.Weight,
+			TunedSeconds: n.TunedSec,
+			TargetGB:     n.TargetGB,
+			Observations: n.Obs,
+		})
+	}
+	return out
+}
+
+// Recommend serves a configuration for the workload immediately, with zero
+// cluster executions: the k nearest past sessions are retrieved from the
+// history store and their best configurations blended by similarity. A
+// confident hit returns in microseconds; a low-confidence one submits a
+// normal tuning job as the fallback (unless NoFallback is set).
+func (s *Service) Recommend(o Options, ro RecommendOptions) (*Recommendation, error) {
+	spec, err := specOf(o)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := s.svc.Recommend(service.RecommendRequest{
+		JobSpec: spec,
+		RecommendOptions: service.RecommendOptions{
+			K:             ro.K,
+			MaxDistance:   ro.MaxDistance,
+			MinConfidence: ro.MinConfidence,
+		},
+		Refine:     ro.Refine,
+		NoFallback: ro.NoFallback,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return recommendationOf(rec), nil
+}
+
+// RecommendFromHistory serves a zero-execution recommendation straight from
+// a history directory, without starting a service: open the store, load (or
+// build) its k-NN index, retrieve and blend. Fallback submission is not
+// available on this path — a low-confidence result reports outcome "miss".
+func RecommendFromHistory(dir string, o Options, ro RecommendOptions) (*Recommendation, error) {
+	spec, err := specOf(o)
+	if err != nil {
+		return nil, err
+	}
+	fs, err := service.NewFileStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	rec, _, err := service.NewRecommender(fs).Recommend(spec, service.RecommendOptions{
+		K:             ro.K,
+		MaxDistance:   ro.MaxDistance,
+		MinConfidence: ro.MinConfidence,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return recommendationOf(rec), nil
 }
 
 // Handler returns the service's HTTP+JSON API (see cmd/locat-serve).

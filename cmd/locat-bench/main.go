@@ -82,6 +82,11 @@ type experiment struct {
 	// LOCAT pipeline). Wall time is machine-dependent and never gated;
 	// cluster seconds and run counts are deterministic.
 	Phases []phase `json:"phases,omitempty"`
+	// Counters are exact deterministic outcomes the experiment published
+	// (the loadtest experiment's per-tenant/priority admission census).
+	// Unlike the tolerance-gated metrics above, the baseline gate compares
+	// them bit for bit.
+	Counters map[string]float64 `json:"counters,omitempty"`
 }
 
 // phase is one pipeline phase's share of an experiment.
@@ -210,6 +215,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			FinalCost:  finalCost,
 			Runs:       runs,
 			Phases:     phases,
+			Counters:   s.TakeCounters(),
 		})
 		fmt.Fprintf(stdout, "(%s finished in %s; %d runs, %.0f simulated cluster seconds)\n\n",
 			id, wall.Round(time.Millisecond), runs, clusterSec)
@@ -303,6 +309,20 @@ func compareReports(baselinePath string, cur *report, maxRegress float64, gateWa
 		if gateWall && exceeds(b.WallSec, e.WallSec) {
 			out = append(out, fmt.Sprintf("%s: wall_sec %.2f → %.2f (+%.1f%%)",
 				e.ID, b.WallSec, e.WallSec, pct(b.WallSec, e.WallSec)))
+		}
+		// Counters are exact admission/outcome counts: any drift, in either
+		// direction, is a behavioral change the baseline must acknowledge.
+		names := make([]string, 0, len(b.Counters))
+		for name := range b.Counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if cv, ok := e.Counters[name]; !ok {
+				out = append(out, fmt.Sprintf("%s: counter %s missing (baseline %v)", e.ID, name, b.Counters[name]))
+			} else if cv != b.Counters[name] {
+				out = append(out, fmt.Sprintf("%s: counter %s %v → %v (exact gate)", e.ID, name, b.Counters[name], cv))
+			}
 		}
 	}
 	var missing []string

@@ -1,0 +1,234 @@
+// Command locat-load drives a deterministic mixed-tenant workload against a
+// running locat-serve instance and reports per-route latency quantiles plus
+// per-tenant/priority outcome counts.
+//
+// Usage:
+//
+//	locat-load -addr http://127.0.0.1:8080                  # default mix
+//	locat-load -addr ... -batch 12 -interactive 4 -recommends 8
+//	locat-load -addr ... -sequential -json report.json
+//	locat-load -addr ... -require-no-interactive-shed       # CI overload gate
+//
+// The workload order is fixed — batch tuning jobs, then interactive tuning
+// jobs, then recommendations — so the batch wave saturates the queue before
+// the high-priority wave arrives; with -sequential the service's admission
+// decisions (accept / reject / shed) become a pure function of that order.
+// -require-no-interactive-shed exits with status 3 when any interactive job
+// was shed or any recommend group saw an overload rejection while batch
+// traffic survived untouched — the inverted-priority signal the overload
+// design forbids.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"locat/internal/loadgen"
+	"locat/internal/service"
+)
+
+type cliConfig struct {
+	addr          string
+	clients       int
+	batch         int
+	interactive   int
+	recommends    int
+	tenants       []string
+	seed          int64
+	benchmark     string
+	maxClusterSec float64
+	deadlineSec   float64
+	sequential    bool
+	requireNoShed bool
+	jsonPath      string
+	quick         bool
+}
+
+func parseFlags(args []string, stderr io.Writer) (cliConfig, error) {
+	fs := flag.NewFlagSet("locat-load", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var c cliConfig
+	var tenants string
+	fs.StringVar(&c.addr, "addr", "http://127.0.0.1:8080", "base URL of the locat-serve instance")
+	fs.IntVar(&c.clients, "clients", 8, "concurrent client goroutines")
+	fs.IntVar(&c.batch, "batch", 12, "batch-priority tuning jobs")
+	fs.IntVar(&c.interactive, "interactive", 4, "interactive-priority tuning jobs")
+	fs.IntVar(&c.recommends, "recommends", 8, "zero-execution recommendation requests")
+	fs.StringVar(&tenants, "tenants", "acme,globex", "comma-separated tenant names (empty: anonymous)")
+	fs.Int64Var(&c.seed, "seed", 1, "workload seed (same seed, same op sequence)")
+	fs.StringVar(&c.benchmark, "benchmark", "TPC-H", "workload benchmark of the generated jobs")
+	fs.Float64Var(&c.maxClusterSec, "max-cluster-sec", 0,
+		"per-job simulated cluster-second budget of batch jobs (0: unlimited; small values force deterministic degrades)")
+	fs.Float64Var(&c.deadlineSec, "deadline-sec", 0, "per-job wall-clock deadline of batch jobs (0: none)")
+	fs.BoolVar(&c.sequential, "sequential", false, "submit in workload order from one goroutine (deterministic admission)")
+	fs.BoolVar(&c.requireNoShed, "require-no-interactive-shed", false,
+		"exit 3 if interactive work was shed or rejected for overload while batch survived")
+	fs.StringVar(&c.jsonPath, "json", "", "write the machine-readable report to this file (\"-\": stdout)")
+	fs.BoolVar(&c.quick, "quick", true, "use reduced per-job tuning budgets (seconds per job instead of minutes)")
+	if err := fs.Parse(args); err != nil {
+		return c, err
+	}
+	if fs.NArg() > 0 {
+		return c, fmt.Errorf("unexpected arguments: %s", strings.Join(fs.Args(), " "))
+	}
+	if c.clients < 1 {
+		return c, fmt.Errorf("-clients must be at least 1")
+	}
+	if c.batch < 0 || c.interactive < 0 || c.recommends < 0 {
+		return c, fmt.Errorf("operation counts must be non-negative")
+	}
+	if c.batch+c.interactive+c.recommends == 0 {
+		return c, fmt.Errorf("empty workload: all operation counts are zero")
+	}
+	if c.maxClusterSec < 0 || c.deadlineSec < 0 {
+		return c, fmt.Errorf("budgets must be non-negative")
+	}
+	if tenants != "" {
+		for _, t := range strings.Split(tenants, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				c.tenants = append(c.tenants, t)
+			}
+		}
+	}
+	return c, nil
+}
+
+// mix expands the CLI configuration into the workload.
+func mix(c cliConfig) []loadgen.Op {
+	template := service.JobSpec{
+		Benchmark:     c.benchmark,
+		MaxClusterSec: c.maxClusterSec,
+		DeadlineSec:   c.deadlineSec,
+		// Load-test jobs opt out of history retrieval so every run costs the
+		// same no matter what earlier jobs deposited.
+		ColdStart: true,
+	}
+	if c.quick {
+		template.NQCSA, template.NIICP, template.MaxIterations = 10, 8, 8
+	}
+	ops := loadgen.Mix(loadgen.MixOptions{
+		Seed:             c.seed,
+		BatchTunes:       c.batch,
+		InteractiveTunes: c.interactive,
+		Recommends:       c.recommends,
+		Tenants:          c.tenants,
+		Template:         template,
+	})
+	for i := range ops {
+		if ops[i].Spec.Priority == service.PriorityInteractive {
+			// Budgets exist to bound the cheap-by-construction batch wave;
+			// interactive jobs run unbudgeted so their completions are the
+			// overload test's control group.
+			ops[i].Spec.MaxClusterSec = 0
+			ops[i].Spec.DeadlineSec = 0
+		}
+	}
+	return ops
+}
+
+func run(c cliConfig, stdout, stderr io.Writer) int {
+	ops := mix(c)
+	rep, err := loadgen.Run(&loadgen.HTTPTarget{Base: strings.TrimRight(c.addr, "/")}, ops, loadgen.Config{
+		Clients:          c.clients,
+		SequentialSubmit: c.sequential,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "locat-load: %v\n", err)
+		return 1
+	}
+
+	printReport(stdout, rep)
+	if c.jsonPath != "" {
+		if err := writeJSON(c.jsonPath, rep, stdout); err != nil {
+			fmt.Fprintf(stderr, "locat-load: %v\n", err)
+			return 1
+		}
+	}
+	if c.requireNoShed {
+		if bad := invertedPriority(rep); bad != "" {
+			fmt.Fprintf(stderr, "locat-load: priority inversion: %s\n", bad)
+			return 3
+		}
+	}
+	return 0
+}
+
+// invertedPriority scans the report for overload falling on interactive
+// traffic: a shed interactive job, or an interactive rejection in a run
+// where batch jobs were neither shed nor rejected. Returns the complaint,
+// "" when clean.
+func invertedPriority(rep *loadgen.Report) string {
+	var batchPressure bool
+	for g, c := range rep.Groups {
+		if strings.HasSuffix(g, "/"+string(service.PriorityBatch)) && (c.Shed > 0 || c.Rejected > 0) {
+			batchPressure = true
+		}
+	}
+	for g, c := range rep.Groups {
+		if !strings.HasSuffix(g, "/"+string(service.PriorityInteractive)) {
+			continue
+		}
+		if c.Shed > 0 {
+			return fmt.Sprintf("group %s: %d interactive jobs shed", g, c.Shed)
+		}
+		if c.Rejected > 0 && !batchPressure {
+			return fmt.Sprintf("group %s: %d interactive rejections with no batch back-pressure", g, c.Rejected)
+		}
+	}
+	return ""
+}
+
+func printReport(w io.Writer, rep *loadgen.Report) {
+	fmt.Fprintf(w, "ops %d in %.2f s\n", rep.Ops, rep.WallSec)
+	routes := make([]string, 0, len(rep.Routes))
+	for r := range rep.Routes {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	for _, r := range routes {
+		st := rep.Routes[r]
+		fmt.Fprintf(w, "  %-10s n=%-5d p50=%8.4fs p99=%8.4fs max=%8.4fs\n",
+			r, st.Count, st.P50, st.P99, st.Max)
+	}
+	groups := make([]string, 0, len(rep.Groups))
+	for g := range rep.Groups {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	for _, g := range groups {
+		c := rep.Groups[g]
+		fmt.Fprintf(w, "  %-24s submitted=%d accepted=%d rejected=%d shed=%d completed=%d degraded=%d hits=%d runs=%d\n",
+			g, c.Submitted, c.Accepted, c.Rejected, c.Shed, c.Completed, c.Degraded, c.Hits, c.Runs)
+	}
+	t := rep.Totals()
+	fmt.Fprintf(w, "  total: submitted=%d accepted=%d rejected=%d shed=%d completed=%d degraded=%d\n",
+		t.Submitted, t.Accepted, t.Rejected, t.Shed, t.Completed, t.Degraded)
+}
+
+func writeJSON(path string, rep *loadgen.Report, stdout io.Writer) error {
+	var w io.Writer = stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func main() {
+	c, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		os.Exit(2)
+	}
+	os.Exit(run(c, os.Stdout, os.Stderr))
+}

@@ -7,11 +7,19 @@
 // Usage:
 //
 //	locat-serve -addr :8080 -store ./locat-history -workers 4 -resume
+//	locat-serve -tenant 'acme:max_inflight=4,rate=2' -tenant '*:max_inflight=8'
+//
+// -tenant (repeatable) sets per-tenant admission budgets; the "*" entry
+// applies to every tenant without one. Over-budget submissions get 429 with
+// a Retry-After header. Jobs carry "tenant", "priority" ("interactive"
+// dispatches first and is never shed; "batch" is the default),
+// "deadline_sec" and "max_cluster_sec" in their spec.
 //
 // API (JSON unless noted; errors are {"error":{"code","message"}}):
 //
 //	POST   /v1/jobs            submit {"cluster","benchmark","data_size_gb",...}
-//	                           (422 invalid spec, 429 queue full, 503 closing)
+//	                           (422 invalid spec, 429 + Retry-After queue full
+//	                           or over budget, 503 closing)
 //	POST   /v1/recommend       zero-execution recommendation from the history
 //	                           store (synchronous; optional "refine" mode)
 //	GET    /v1/jobs            list jobs (limit/offset pagination, state= filter)
@@ -23,6 +31,7 @@
 //	GET    /v1/history         history-store summaries (limit/offset pagination)
 //	GET    /v1/history/{key}   entries under one workload fingerprint
 //	GET    /healthz            liveness and job census by state
+//	GET    /readyz             readiness (503 while resuming or draining)
 //	GET    /metrics            Prometheus text exposition
 //	GET    /debug/pprof/...    Go profiling endpoints (only with -pprof)
 //
@@ -46,6 +55,8 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -79,6 +90,20 @@ func parseFlags(args []string, stderr io.Writer) (cliConfig, error) {
 	fs.Float64Var(&c.opts.RecommendMaxDistance, "recommend-max-dist", 0, "feature-space radius past which a history entry is not a neighbor (0: default 0.75)")
 	fs.Float64Var(&c.opts.RecommendConfidence, "recommend-confidence", 0, "confidence below which /v1/recommend falls back to a tuning job (0: default 0.5)")
 	fs.IntVar(&c.opts.MaxHistoryKeys, "max-history-keys", 0, "distinct workload fingerprints kept in the history store (0: default 1024, negative: unbounded)")
+	fs.Func("tenant", "per-tenant budget, repeatable: 'name:max_inflight=N,rate=R,burst=B,max_cluster_sec=S' ('*' applies to unlisted tenants)", func(v string) error {
+		name, budget, err := parseTenant(v)
+		if err != nil {
+			return err
+		}
+		if c.opts.Tenants == nil {
+			c.opts.Tenants = map[string]locat.TenantBudget{}
+		}
+		if _, dup := c.opts.Tenants[name]; dup {
+			return fmt.Errorf("duplicate -tenant %q", name)
+		}
+		c.opts.Tenants[name] = budget
+		return nil
+	})
 	if err := fs.Parse(args); err != nil {
 		return cliConfig{}, err
 	}
@@ -92,6 +117,45 @@ func parseFlags(args []string, stderr io.Writer) (cliConfig, error) {
 		return cliConfig{}, errors.New("locat-serve: -resume needs -store (an in-memory store has no checkpoints to resume)")
 	}
 	return c, nil
+}
+
+// parseTenant parses one -tenant value:
+// "name:max_inflight=N,rate=R,burst=B,max_cluster_sec=S" with every budget
+// key optional. The bare form "name" admits the tenant unbudgeted (useful
+// to exempt one tenant from a "*" default).
+func parseTenant(v string) (string, locat.TenantBudget, error) {
+	name, spec, hasSpec := strings.Cut(v, ":")
+	name = strings.TrimSpace(name)
+	var b locat.TenantBudget
+	if name == "" {
+		return "", b, fmt.Errorf("-tenant %q: empty tenant name", v)
+	}
+	if !hasSpec || strings.TrimSpace(spec) == "" {
+		return name, b, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return "", b, fmt.Errorf("-tenant %q: %q is not key=value", v, kv)
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil || f < 0 {
+			return "", b, fmt.Errorf("-tenant %q: %s wants a non-negative number, got %q", v, key, val)
+		}
+		switch strings.TrimSpace(key) {
+		case "max_inflight":
+			b.MaxInFlight = int(f)
+		case "rate":
+			b.SubmitRate = f
+		case "burst":
+			b.SubmitBurst = int(f)
+		case "max_cluster_sec":
+			b.MaxClusterSec = f
+		default:
+			return "", b, fmt.Errorf("-tenant %q: unknown budget key %q (want max_inflight, rate, burst or max_cluster_sec)", v, key)
+		}
+	}
+	return name, b, nil
 }
 
 func main() {
@@ -138,10 +202,15 @@ func main() {
 		}
 	case sig := <-sigc:
 		fmt.Fprintf(os.Stderr, "locat-serve: %s, draining\n", sig)
+		// Drain the service before the listener: Close flips /readyz to 503
+		// (so load balancers stop routing here while the port still answers)
+		// and checkpoints queued and running jobs for a -resume restart.
+		// Only then stop accepting connections, letting in-flight requests
+		// finish.
+		svc.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		_ = srv.Shutdown(ctx)
 		cancel()
-		svc.Close()
 	}
 }
 

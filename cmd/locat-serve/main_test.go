@@ -2,6 +2,7 @@ package main
 
 import (
 	"io"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -17,8 +18,45 @@ func TestParseFlagsDefaults(t *testing.T) {
 		t.Fatalf("defaults: addr=%q pprof=%v", c.addr, c.pprofOn)
 	}
 	want := locat.ServiceOptions{Workers: 2}
-	if c.opts != want {
+	if !reflect.DeepEqual(c.opts, want) {
 		t.Fatalf("default options = %+v, want %+v", c.opts, want)
+	}
+}
+
+func TestParseFlagsTenants(t *testing.T) {
+	c, err := parseFlags([]string{
+		"-tenant", "acme:max_inflight=4,rate=2.5,burst=5,max_cluster_sec=1e6",
+		"-tenant", "*:max_inflight=8",
+		"-tenant", "vip",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]locat.TenantBudget{
+		"acme": {MaxInFlight: 4, SubmitRate: 2.5, SubmitBurst: 5, MaxClusterSec: 1e6},
+		"*":    {MaxInFlight: 8},
+		"vip":  {},
+	}
+	if !reflect.DeepEqual(c.opts.Tenants, want) {
+		t.Fatalf("tenants = %+v, want %+v", c.opts.Tenants, want)
+	}
+}
+
+func TestParseFlagsRejectsBadTenants(t *testing.T) {
+	for _, v := range []string{
+		"",                    // empty name
+		":max_inflight=4",     // empty name with spec
+		"acme:max_inflight",   // not key=value
+		"acme:rate=-1",        // negative budget
+		"acme:bogus=1",        // unknown key
+		"acme:max_inflight=x", // not a number
+	} {
+		if _, err := parseFlags([]string{"-tenant", v}, io.Discard); err == nil {
+			t.Errorf("parseFlags(-tenant %q) accepted", v)
+		}
+	}
+	if _, err := parseFlags([]string{"-tenant", "a:rate=1", "-tenant", "a:rate=2"}, io.Discard); err == nil {
+		t.Error("duplicate -tenant accepted")
 	}
 }
 

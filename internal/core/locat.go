@@ -139,6 +139,19 @@ type Options struct {
 	// aborts the session and Tune returns ErrStopped. The tuning service
 	// uses it for cooperative job cancellation.
 	Stop func() bool
+	// Expired, if non-nil, is polled between evaluations like Stop, but an
+	// expired session degrades instead of aborting: Tune returns the best
+	// configuration observed so far with Report.Degraded explaining the
+	// deadline. The service wires a context deadline here. Wall-clock-based,
+	// so where exactly the cutoff lands is not reproducible — use
+	// MaxClusterSec for a deterministic budget.
+	Expired func() bool
+	// MaxClusterSec, when positive, bounds the simulated cluster seconds the
+	// session may spend; past the budget it degrades like an expired
+	// deadline. Overhead accrues only between evaluation batches on the
+	// session goroutine, so the cutoff point — and therefore the degraded
+	// result — is bit-for-bit reproducible at any worker count.
+	MaxClusterSec float64
 	// Tracer, if non-nil, receives one span per session phase (phase-1
 	// sampling or warm anchors, QCSA, IICP, phase-2 search, final
 	// selection, plus one per GP hyperparameter resample), each charged
@@ -275,6 +288,23 @@ func (t *Tuner) logf(format string, args ...any) { progress.F(t.opts.Logf, forma
 
 func (t *Tuner) stopped() bool { return t.opts.Stop != nil && t.opts.Stop() }
 
+// overBudget reports why the session must degrade to best-so-far: the
+// cluster-second budget is exhausted or the wall-clock deadline passed. Nil
+// means keep searching. The budget check reads rep.OverheadSec, which only
+// the session goroutine mutates between evaluation batches, so a budget
+// cutoff is deterministic across worker counts; the deadline is wall-clock
+// and is not.
+func (t *Tuner) overBudget(rep *Report) error {
+	if t.opts.MaxClusterSec > 0 && rep.OverheadSec >= t.opts.MaxClusterSec {
+		return fmt.Errorf("core: cluster-second budget exhausted (%.0f s of %.0f s)",
+			rep.OverheadSec, t.opts.MaxClusterSec)
+	}
+	if t.opts.Expired != nil && t.opts.Expired() {
+		return errors.New("core: deadline exceeded")
+	}
+	return nil
+}
+
 // warmPrior returns the usable prior, or nil when the session must run cold.
 func (t *Tuner) warmPrior() *Prior {
 	p := t.opts.Prior
@@ -349,13 +379,15 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 		ds := sizeOf(rep.Evaluations())
 		return recordFull(c, ds, t.run.RunApp(t.app, c, ds))
 	}
-	// sessionStop halts the search between evaluations for either reason:
-	// the caller's cancellation hook, or a backend gone sticky-faulty
-	// (tripped circuit breaker, dead gateway). Consulting BackendErr here —
-	// not only after the search returns — is what stops a session from
-	// burning its remaining iteration budget on runs that can only fail.
+	// sessionStop halts the search between evaluations for any reason: the
+	// caller's cancellation hook, an exhausted deadline or cluster-second
+	// budget, or a backend gone sticky-faulty (tripped circuit breaker, dead
+	// gateway). Consulting BackendErr and the budget here — not only after
+	// the search returns — is what stops a session from burning its
+	// remaining iteration budget on runs it cannot afford or that can only
+	// fail.
 	sessionStop := func() bool {
-		return runner.BackendErr(t.run) != nil || t.stopped()
+		return runner.BackendErr(t.run) != nil || t.overBudget(rep) != nil || t.stopped()
 	}
 	// runFullBatch fans independent full-application runs over the worker
 	// pool (Options.Workers simulated cluster slots) and reduces the results
@@ -432,6 +464,9 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 			if err := runner.BackendErr(t.run); err != nil {
 				return t.degrade(rep, space, targetGB, err)
 			}
+			if cause := t.overBudget(rep); cause != nil {
+				return t.degrade(rep, space, targetGB, cause)
+			}
 			return nil, ErrStopped
 		}
 		// Prior observations and the fresh anchors together form the
@@ -459,11 +494,14 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 			}
 		}
 	}
-	// Backend death is checked before user cancellation: a session that
-	// already paid for sample runs degrades to its best observation instead
-	// of discarding them.
+	// Backend death and budget exhaustion are checked before user
+	// cancellation: a session that already paid for sample runs degrades to
+	// its best observation instead of discarding them.
 	if err := runner.BackendErr(t.run); err != nil {
 		return t.degrade(rep, space, targetGB, err)
+	}
+	if cause := t.overBudget(rep); cause != nil {
+		return t.degrade(rep, space, targetGB, cause)
 	}
 	if t.stopped() {
 		return nil, ErrStopped
@@ -642,6 +680,9 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 	if err := runner.BackendErr(t.run); err != nil {
 		return t.degrade(rep, space, targetGB, err)
 	}
+	if cause := t.overBudget(rep); cause != nil {
+		return t.degrade(rep, space, targetGB, cause)
+	}
 	if t.stopped() {
 		return nil, ErrStopped
 	}
@@ -663,12 +704,13 @@ func (t *Tuner) Tune(targetGB float64) (*Report, error) {
 	return rep, nil
 }
 
-// degrade finishes a session whose backend went sticky-faulty mid-way: the
+// degrade finishes a session cut short mid-way — backend gone
+// sticky-faulty, deadline expired, or cluster-second budget exhausted: the
 // report keeps everything the session measured and recommends the best
 // full-application configuration actually observed (prior observations
 // included for warm sessions) rather than failing — cluster time already
-// paid for those samples. A backend that died before any successful run
-// leaves nothing to recommend and the session fails with the cause.
+// paid for those samples. A session cut short before any successful run
+// leaves nothing to recommend and fails with the cause.
 func (t *Tuner) degrade(rep *Report, space *conf.Space, targetGB float64, cause error) (*Report, error) {
 	var best conf.Config
 	bestSec := math.Inf(1)
@@ -688,7 +730,7 @@ func (t *Tuner) degrade(rep *Report, space *conf.Space, targetGB float64, cause 
 		}
 	}
 	if best == nil {
-		return nil, fmt.Errorf("core: backend failed before any successful sample run: %w", cause)
+		return nil, fmt.Errorf("core: session ended before any successful sample run: %w", cause)
 	}
 	rep.Best = best
 	rep.Degraded = cause.Error()
@@ -697,7 +739,7 @@ func (t *Tuner) degrade(rep *Report, space *conf.Space, targetGB float64, cause 
 	// guardrail below still applies.
 	rep.TunedSec = t.run.NoiselessAppTime(t.app, rep.Best, targetGB)
 	t.applyGuardrail(rep, space, targetGB)
-	t.logf("degraded: backend failed (%v); returning best of %d observed runs (%.0f s observed)",
+	t.logf("degraded: %v; returning best of %d observed runs (%.0f s observed)",
 		cause, rep.Evaluations(), bestSec)
 	return rep, nil
 }

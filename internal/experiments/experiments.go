@@ -90,6 +90,12 @@ type Session struct {
 	cost     float64
 	lastCost float64
 	lastSpan int
+
+	// counters are exact deterministic outcome counters the running
+	// experiment publishes (the loadtest experiment's per-group census);
+	// the bench harness drains them per experiment and the baseline gate
+	// compares them bit for bit, not within a tolerance.
+	counters map[string]float64
 }
 
 // NewSession returns a session on the simulator backend.
@@ -133,6 +139,24 @@ func (s *Session) runnerSeeded(clusterName string, seed int64, stream string, op
 		return nil, err
 	}
 	return runner.Metered(r, &s.tally), nil
+}
+
+// SetCounter publishes one exact deterministic counter for the current
+// experiment. Unlike TakeUsage's metrics (gated within a tolerance),
+// counters must reproduce bit for bit against the baseline.
+func (s *Session) SetCounter(name string, v float64) {
+	if s.counters == nil {
+		s.counters = map[string]float64{}
+	}
+	s.counters[name] = v
+}
+
+// TakeCounters drains the counters the experiment published since the last
+// call (nil when none).
+func (s *Session) TakeCounters() map[string]float64 {
+	c := s.counters
+	s.counters = nil
+	return c
 }
 
 // chargeCost accrues a tuned-latency figure into the session's final-cost
@@ -331,6 +355,11 @@ var Registry = map[string]func(*Session) ([]Table, error){
 	// Beyond the paper: the service's zero-execution retrieval tier against
 	// cold and warm tuning on the same seeded neighborhood.
 	"retrieval": RetrievalTiers,
+
+	// Beyond the paper: the serving layer's overload behavior — priority
+	// shedding, tenant budgets, budget degrades — as a deterministic census
+	// gated bit for bit by the baseline.
+	"loadtest": LoadTest,
 }
 
 // IDs returns the registered experiment IDs in a stable order.

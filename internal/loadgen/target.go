@@ -1,0 +1,145 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"locat/internal/service"
+)
+
+// Target is the service surface the load generator drives. *service.Service
+// satisfies it directly (in-process load tests, the benchmark experiment);
+// HTTPTarget adapts a remote locat-serve (cmd/locat-load).
+type Target interface {
+	Submit(spec service.JobSpec) (string, error)
+	Status(id string) (service.JobStatus, error)
+	Result(id string) (*service.JobResult, error)
+	Recommend(req service.RecommendRequest) (*service.Recommendation, error)
+}
+
+// Rejection is an HTTP-level refusal (4xx/5xx) decoded from the service's
+// error envelope, so HTTP runs classify rejections the way in-process runs
+// classify typed errors.
+type Rejection struct {
+	// StatusCode is the HTTP status; Code the envelope's machine slug
+	// ("queue_full", "over_budget", "unavailable", ...).
+	StatusCode int
+	Code       string
+	Message    string
+	// RetryAfterSec is the parsed Retry-After header (0 when absent).
+	RetryAfterSec int
+}
+
+func (r *Rejection) Error() string {
+	return fmt.Sprintf("loadgen: %d %s: %s", r.StatusCode, r.Code, r.Message)
+}
+
+// Overload reports whether the rejection is admission back-pressure (429)
+// rather than an error.
+func (r *Rejection) Overload() bool { return r.StatusCode == http.StatusTooManyRequests }
+
+// HTTPTarget drives a locat-serve instance over its /v1 API.
+type HTTPTarget struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// Client is the HTTP client (default: a client with a 60 s timeout —
+	// generous because Result blocks server-side only after terminal state,
+	// and plain GETs should never take that long).
+	Client *http.Client
+}
+
+func (t *HTTPTarget) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return &http.Client{Timeout: 60 * time.Second}
+}
+
+// do issues one request and decodes the 2xx body into out (ignored when
+// nil); non-2xx responses come back as *Rejection.
+func (t *HTTPTarget) do(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, t.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		rej := &Rejection{StatusCode: resp.StatusCode}
+		var env struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&env) == nil {
+			rej.Code, rej.Message = env.Error.Code, env.Error.Message
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			rej.RetryAfterSec, _ = strconv.Atoi(ra)
+		}
+		return rej
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts the spec to /v1/jobs.
+func (t *HTTPTarget) Submit(spec service.JobSpec) (string, error) {
+	var resp struct {
+		ID string `json:"id"`
+	}
+	if err := t.do(http.MethodPost, "/v1/jobs", spec, &resp); err != nil {
+		return "", err
+	}
+	return resp.ID, nil
+}
+
+// Status fetches /v1/jobs/{id}.
+func (t *HTTPTarget) Status(id string) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := t.do(http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Result fetches /v1/jobs/{id}/result. The wire shape (apiResult) is a
+// superset of JobResult under the same tags, so decoding into JobResult
+// keeps the fields the report consumes.
+func (t *HTTPTarget) Result(id string) (*service.JobResult, error) {
+	var res service.JobResult
+	if err := t.do(http.MethodGet, "/v1/jobs/"+id+"/result", nil, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Recommend posts to /v1/recommend.
+func (t *HTTPTarget) Recommend(req service.RecommendRequest) (*service.Recommendation, error) {
+	var rec service.Recommendation
+	if err := t.do(http.MethodPost, "/v1/recommend", req, &rec); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}

@@ -1,0 +1,148 @@
+package service
+
+import "sync"
+
+// dispatcher is the priority-aware job queue between Submit and the worker
+// pool. Two FIFO lanes — interactive ahead of batch — share one capacity
+// bound, so cheap interactive work (recommend refinements, deadline-bounded
+// tuning) never waits behind a backlog of batch sessions. When the queue is
+// full, an interactive submission displaces the youngest queued batch job
+// (returned to the caller for shed bookkeeping) instead of being refused;
+// batch submissions against a full queue are refused outright.
+//
+// The dispatcher replaces the old buffered channel: lanes under a mutex
+// cannot panic on a send-after-close race, and Close can inspect and drain
+// the backlog atomically instead of cancelling whatever happens to still be
+// buffered.
+//
+// Locking: enqueue and drain are called with the service mutex held (they
+// read job fields the service mutex guards); dequeue is called bare by the
+// workers. Nothing under d.mu ever takes the service mutex, so the order
+// s.mu → d.mu is acyclic.
+type dispatcher struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	cap    int
+	inter  []*job // interactive lane, FIFO
+	batch  []*job // batch lane, FIFO
+	held   bool   // hold intake open but park dequeues (deterministic load tests)
+	closed bool
+}
+
+func newDispatcher(capacity int) *dispatcher {
+	d := &dispatcher{cap: capacity}
+	d.cond = sync.NewCond(&d.mu)
+	return d
+}
+
+// enqueue admits j into its priority lane. When the queue is full and j is
+// interactive, the youngest queued batch job is evicted and returned as
+// shed — the caller settles its lifecycle (the evicted job may already be
+// terminal if it was cancelled while queued; eviction then just frees the
+// slot). ok is false when the dispatcher is closed or the submission must
+// be refused.
+func (d *dispatcher) enqueue(j *job) (shed *job, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, false
+	}
+	if len(d.inter)+len(d.batch) >= d.cap {
+		if j.spec.Priority != PriorityInteractive || len(d.batch) == 0 {
+			return nil, false
+		}
+		shed = d.batch[len(d.batch)-1]
+		d.batch = d.batch[:len(d.batch)-1]
+	}
+	if j.spec.Priority == PriorityInteractive {
+		d.inter = append(d.inter, j)
+	} else {
+		d.batch = append(d.batch, j)
+	}
+	d.cond.Signal()
+	return shed, true
+}
+
+// dequeue blocks until a job is available (interactive lane first) and
+// returns it. ok is false once the dispatcher is closed and both lanes are
+// empty — the worker-pool shutdown signal. A held dispatcher parks dequeues
+// while still admitting enqueues; close overrides hold so shutdown never
+// deadlocks behind a forgotten release.
+func (d *dispatcher) dequeue() (j *job, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.closed || !d.held {
+			if len(d.inter) > 0 {
+				j = d.inter[0]
+				d.inter = d.inter[1:]
+				return j, true
+			}
+			if len(d.batch) > 0 {
+				j = d.batch[0]
+				d.batch = d.batch[1:]
+				return j, true
+			}
+		}
+		if d.closed {
+			return nil, false
+		}
+		d.cond.Wait() //locat:allow lockcheck Cond.Wait releases d.mu while parked; holding it is the Cond contract
+	}
+}
+
+// requeue re-admits a retried job into its lane without ever evicting:
+// false when the dispatcher is closed or full.
+func (d *dispatcher) requeue(j *job) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed || len(d.inter)+len(d.batch) >= d.cap {
+		return false
+	}
+	if j.spec.Priority == PriorityInteractive {
+		d.inter = append(d.inter, j)
+	} else {
+		d.batch = append(d.batch, j)
+	}
+	d.cond.Signal()
+	return true
+}
+
+// drain removes and returns every queued job (interactive first, each lane
+// in FIFO order) without waking workers — the graceful-shutdown path that
+// checkpoints the backlog instead of running it.
+func (d *dispatcher) drain() []*job {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]*job, 0, len(d.inter)+len(d.batch))
+	out = append(out, d.inter...)
+	out = append(out, d.batch...)
+	d.inter, d.batch = nil, nil
+	return out
+}
+
+// close stops intake and wakes every parked worker so the pool can exit.
+func (d *dispatcher) close() {
+	d.mu.Lock()
+	d.closed = true
+	d.mu.Unlock()
+	d.cond.Broadcast()
+}
+
+// hold parks the workers without refusing submissions: jobs accumulate in
+// the lanes until release. Deterministic load tests submit a whole workload
+// under hold, so admission and shedding become a pure function of the
+// submission order — the worker count cannot influence them.
+func (d *dispatcher) hold() {
+	d.mu.Lock()
+	d.held = true
+	d.mu.Unlock()
+}
+
+// release reopens dequeues after hold and wakes the workers.
+func (d *dispatcher) release() {
+	d.mu.Lock()
+	d.held = false
+	d.mu.Unlock()
+	d.cond.Broadcast()
+}

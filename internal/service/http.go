@@ -77,14 +77,16 @@ func (s *Service) History() ([]HistorySummary, error) {
 //	GET    /v1/history        history-store summaries (limit/offset pagination)
 //	GET    /v1/history/{key}  full entries under one fingerprint key
 //	GET    /healthz           liveness + job census by state
+//	GET    /readyz            readiness: 503 during startup resume and drain
 //	GET    /metrics           Prometheus text exposition
 //
 // Errors are a uniform envelope {"error":{"code":...,"message":...}} with a
 // stable machine-readable code; POST bodies must be application/json (415
-// otherwise). Every request is timed into per-route latency histograms and
-// counted by route and status code; when the service has a logger, an access
-// log line is emitted per request (suppressed along with everything else
-// when Logf is nil).
+// otherwise). 429 responses (full queue, over-budget tenant) carry a
+// Retry-After header. Every request is timed into per-route latency
+// histograms and counted by route and status code; when the service has a
+// logger, an access log line is emitted per request (suppressed along with
+// everything else when Logf is nil).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 
@@ -95,17 +97,7 @@ func (s *Service) Handler() http.Handler {
 		}
 		id, err := s.Submit(spec)
 		if err != nil {
-			// Admission control: a full queue is back-pressure (retry later),
-			// a closing service is unavailability — both distinct from a
-			// semantically invalid spec (422).
-			switch {
-			case errors.Is(err, ErrQueueFull):
-				httpError(w, http.StatusTooManyRequests, err)
-			case errors.Is(err, ErrClosed):
-				httpError(w, http.StatusServiceUnavailable, err)
-			default:
-				httpError(w, http.StatusUnprocessableEntity, err)
-			}
+			submitError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "state": string(StateQueued)})
@@ -118,14 +110,7 @@ func (s *Service) Handler() http.Handler {
 		}
 		rec, err := s.Recommend(req)
 		if err != nil {
-			switch {
-			case errors.Is(err, ErrQueueFull):
-				httpError(w, http.StatusTooManyRequests, err)
-			case errors.Is(err, ErrClosed):
-				httpError(w, http.StatusServiceUnavailable, err)
-			default:
-				httpError(w, http.StatusUnprocessableEntity, err)
-			}
+			submitError(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, rec)
@@ -140,7 +125,8 @@ func (s *Service) Handler() http.Handler {
 		jobs := s.Jobs() // submission order: deterministic
 		if v := r.URL.Query().Get("state"); v != "" {
 			switch st := State(v); st {
-			case StateQueued, StateRunning, StateSucceeded, StateFailed, StateCancelled:
+			case StateQueued, StateRunning, StateSucceeded, StateFailed,
+				StateCancelled, StateShed, StateSuspended:
 				kept := jobs[:0]
 				for _, j := range jobs {
 					if j.State == st {
@@ -263,7 +249,19 @@ func (s *Service) Handler() http.Handler {
 			"status": "ok", "queued": st.Queued, "running": st.Running,
 			"finished": st.Finished(), "succeeded": st.Succeeded,
 			"failed": st.Failed, "cancelled": st.Cancelled,
+			"shed": st.Shed, "suspended": st.Suspended,
 		})
+	})
+
+	// Readiness is distinct from liveness: a draining or still-resuming
+	// service is alive (healthz 200) but must not receive new traffic
+	// (readyz 503) — the signal load balancers act on during a rollout.
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !s.Ready() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
 
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -323,6 +321,37 @@ func errorCode(status int) string {
 
 func httpError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, apiError{Error: apiErrorBody{Code: errorCode(code), Message: err.Error()}})
+}
+
+// httpErrorCoded is httpError with an explicit envelope code, for statuses
+// whose default slug is too coarse (the two flavors of 429).
+func httpErrorCoded(w http.ResponseWriter, code int, slug string, err error) {
+	writeJSON(w, code, apiError{Error: apiErrorBody{Code: slug, Message: err.Error()}})
+}
+
+// submitError maps a Submit/Recommend refusal onto the wire. Admission
+// refusals are back-pressure, not client mistakes: both 429 flavors carry a
+// Retry-After header (the budget's own refill estimate when it has one, a
+// nominal second otherwise), a closing service is 503, and everything else
+// is a semantically invalid spec (422).
+func submitError(w http.ResponseWriter, err error) {
+	var be *BudgetError
+	switch {
+	case errors.As(err, &be):
+		retry := int64(1)
+		if s := int64(be.RetryAfter.Seconds() + 0.999); s > retry {
+			retry = s
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(retry, 10))
+		httpErrorCoded(w, http.StatusTooManyRequests, "over_budget", err)
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, err)
+	default:
+		httpError(w, http.StatusUnprocessableEntity, err)
+	}
 }
 
 // decodeJSON enforces the POST contract: a JSON content type (415

@@ -1,0 +1,113 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+)
+
+// post429 submits the spec and asserts a 429 with the given envelope code,
+// returning the parsed Retry-After header.
+func post429(t *testing.T, client *http.Client, url string, spec JobSpec, wantCode string) int {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env apiError
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests || env.Error.Code != wantCode {
+		t.Fatalf("submit = %d code %q, want 429 %q", resp.StatusCode, env.Error.Code, wantCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
+		t.Fatalf("429 %s without a Retry-After header", wantCode)
+	}
+	sec, err := strconv.Atoi(ra)
+	if err != nil || sec < 1 {
+		t.Fatalf("Retry-After = %q; want an integer of at least 1 second", ra)
+	}
+	return sec
+}
+
+// Both 429 flavors — full queue and over-budget tenant — carry a
+// Retry-After header a well-behaved client can sleep on.
+func TestHTTP429CarriesRetryAfter(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueCap: 1, Tenants: map[string]TenantBudget{
+		"limited": {SubmitRate: 0.25, SubmitBurst: 1},
+	}})
+	defer svc.Close()
+	svc.Hold() // keep everything queued so the refusals are deterministic
+	defer svc.Release()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	// The rate-limited tenant's first submission takes its only token (and
+	// the queue's only slot).
+	spec := quickSpec(100, 1)
+	spec.Tenant = "limited"
+	body, _ := json.Marshal(spec)
+	resp, err := client.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit = %d, want 202", resp.StatusCode)
+	}
+
+	// Over budget: the refill estimate is 1/0.25 = 4 s.
+	if sec := post429(t, client, srv.URL, spec, "over_budget"); sec < 2 {
+		t.Fatalf("over_budget Retry-After = %d s; want the bucket's refill estimate (~4 s)", sec)
+	}
+	// Queue full (a different tenant, so the rate budget is not what
+	// refuses): the nominal one-second hint.
+	if sec := post429(t, client, srv.URL, quickSpec(110, 2), "queue_full"); sec != 1 {
+		t.Fatalf("queue_full Retry-After = %d s; want 1", sec)
+	}
+}
+
+// /readyz flips to 503 the moment a drain begins, while /healthz keeps
+// answering 200 — liveness and readiness are different questions.
+func TestHTTPReadyzLifecycle(t *testing.T) {
+	svc := New(Config{Workers: 1})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	get := func(path string) (int, map[string]any) {
+		t.Helper()
+		resp, err := client.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	if code, body := get("/readyz"); code != http.StatusOK || body["status"] != "ready" {
+		t.Fatalf("/readyz before drain = %d %v, want 200 ready", code, body)
+	}
+	svc.Close()
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || body["status"] != "draining" {
+		t.Fatalf("/readyz after drain = %d %v, want 503 draining", code, body)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz after drain = %d, want 200 (still alive)", code)
+	}
+}

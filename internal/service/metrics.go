@@ -27,10 +27,24 @@ type serviceMetrics struct {
 	// zeroes, not absences.
 	recommend map[string]*obs.Counter
 	retrieval *obs.Histogram
+	// Admission-control series: every submission decision by outcome
+	// (accepted, or the refusal/eviction reason), pre-registered like the
+	// recommendation outcomes.
+	admissions map[string]*obs.Counter
+	suspended  *obs.Histogram
 }
 
 // recommendOutcomes are the label values of locat_recommend_total.
 var recommendOutcomes = []string{"hit", "refine", "fallback", "miss", "error"}
+
+// admissionOutcomes are the label values of locat_admission_total: the
+// terminal fate of every admission decision — accepted, refused (queue_full,
+// rate_limited, max_in_flight, cluster_budget, closed) or a queued batch job
+// evicted by interactive work (shed).
+var admissionOutcomes = []string{
+	"accepted", "queue_full", ReasonRateLimited, ReasonMaxInFlight,
+	ReasonClusterBudget, "shed", "closed",
+}
 
 func newServiceMetrics(r *obs.Registry, s *Service) *serviceMetrics {
 	for _, st := range []struct {
@@ -42,6 +56,8 @@ func newServiceMetrics(r *obs.Registry, s *Service) *serviceMetrics {
 		{string(StateSucceeded), func(st Stats) int { return st.Succeeded }},
 		{string(StateFailed), func(st Stats) int { return st.Failed }},
 		{string(StateCancelled), func(st Stats) int { return st.Cancelled }},
+		{string(StateShed), func(st Stats) int { return st.Shed }},
+		{string(StateSuspended), func(st Stats) int { return st.Suspended }},
 	} {
 		get := st.get
 		r.GaugeFunc("locat_jobs", "Jobs by lifecycle state.",
@@ -57,8 +73,14 @@ func newServiceMetrics(r *obs.Registry, s *Service) *serviceMetrics {
 		recommend[oc] = r.Counter("locat_recommend_total",
 			"Zero-execution recommendation requests by outcome.", "outcome", oc)
 	}
+	admissions := make(map[string]*obs.Counter, len(admissionOutcomes))
+	for _, oc := range admissionOutcomes {
+		admissions[oc] = r.Counter("locat_admission_total",
+			"Submission admission decisions by outcome.", "outcome", oc)
+	}
 	return &serviceMetrics{
-		recommend: recommend,
+		recommend:  recommend,
+		admissions: admissions,
 		retrieval: r.Histogram("locat_recommend_retrieval_seconds",
 			"Wall-clock latency of k-NN retrieval behind /v1/recommend.",
 			obs.DurationBuckets),
@@ -68,6 +90,7 @@ func newServiceMetrics(r *obs.Registry, s *Service) *serviceMetrics {
 		succeeded: jobSec(string(StateSucceeded)),
 		failed:    jobSec(string(StateFailed)),
 		cancelled: jobSec(string(StateCancelled)),
+		suspended: jobSec(string(StateSuspended)),
 		runs:      runner.NewRunMetrics(r),
 		retries: r.Counter("locat_run_retries_total",
 			"Execution attempts retried after a transient backend fault."),
@@ -96,7 +119,17 @@ func (m *serviceMetrics) jobSeconds(st State) *obs.Histogram {
 		return m.failed
 	case StateCancelled:
 		return m.cancelled
+	case StateSuspended:
+		return m.suspended
 	default:
 		return m.succeeded
 	}
+}
+
+// admission returns the counter for an admission outcome.
+func (m *serviceMetrics) admission(oc string) *obs.Counter {
+	if c, ok := m.admissions[oc]; ok {
+		return c
+	}
+	return m.admissions["closed"]
 }

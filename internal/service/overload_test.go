@@ -1,0 +1,327 @@
+package service
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// An interactive submission into a full queue displaces the youngest queued
+// batch job instead of being refused; the displaced job terminates as shed.
+func TestPrioritySheddingUnderOverload(t *testing.T) {
+	s := New(Config{Workers: 1, QueueCap: 2})
+	defer s.Close()
+	s.Hold() // park the workers so admission resolves against a full queue
+
+	batch1, err := s.Submit(quickSpec(100, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch2, err := s.Submit(quickSpec(110, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A third batch job is refused outright: batch never displaces batch.
+	if _, err := s.Submit(quickSpec(120, 3)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("batch into a full queue: err = %v, want ErrQueueFull", err)
+	}
+
+	inter := quickSpec(130, 4)
+	inter.Priority = PriorityInteractive
+	interID, err := s.Submit(inter)
+	if err != nil {
+		t.Fatalf("interactive into a full queue refused: %v", err)
+	}
+
+	// The youngest queued batch job was shed, the oldest kept.
+	st, err := s.Status(batch2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateShed {
+		t.Fatalf("displaced job state = %s, want %s", st.State, StateShed)
+	}
+	if _, err := s.Result(batch2); err == nil || !strings.Contains(err.Error(), "shed") {
+		t.Fatalf("shed job Result err = %v; want a shed explanation", err)
+	}
+	if st, _ := s.Status(batch1); st.State != StateQueued {
+		t.Fatalf("older batch job state = %s, want still queued", st.State)
+	}
+
+	s.Release()
+	for _, id := range []string{batch1, interID} {
+		if _, err := s.Result(id); err != nil {
+			t.Fatalf("job %s: %v", id, err)
+		}
+	}
+	if stats := s.Stats(); stats.Shed != 1 || stats.Succeeded != 2 {
+		t.Fatalf("stats = %+v; want 1 shed, 2 succeeded", stats)
+	}
+}
+
+// A second interactive submission must shed the youngest remaining batch
+// job, never another interactive one.
+func TestInteractiveNeverShedsInteractive(t *testing.T) {
+	s := New(Config{Workers: 1, QueueCap: 2})
+	defer s.Close()
+	s.Hold()
+	defer s.Release()
+
+	if _, err := s.Submit(quickSpec(100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	inter1 := quickSpec(110, 2)
+	inter1.Priority = PriorityInteractive
+	inter1ID, err := s.Submit(inter1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queue: [batch, interactive]. The next interactive must displace the
+	// batch job even though the interactive one is younger.
+	inter2 := quickSpec(120, 3)
+	inter2.Priority = PriorityInteractive
+	if _, err := s.Submit(inter2); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := s.Status(inter1ID); st.State != StateQueued {
+		t.Fatalf("interactive job state = %s; interactive must never be shed", st.State)
+	}
+	if stats := s.Stats(); stats.Shed != 1 {
+		t.Fatalf("stats = %+v; want the batch job shed", stats)
+	}
+	// With only interactive work queued, a further interactive submission is
+	// refused rather than inverting priorities.
+	inter3 := quickSpec(130, 4)
+	inter3.Priority = PriorityInteractive
+	if _, err := s.Submit(inter3); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("interactive into an all-interactive queue: err = %v, want ErrQueueFull", err)
+	}
+}
+
+// MaxInFlight bounds a tenant's queued-plus-running jobs; slots free on any
+// terminal transition, including cancellation.
+func TestTenantMaxInFlight(t *testing.T) {
+	s := New(Config{Workers: 1, Tenants: map[string]TenantBudget{
+		"acme": {MaxInFlight: 1},
+	}})
+	defer s.Close()
+	s.Hold()
+	defer s.Release()
+
+	spec := quickSpec(100, 1)
+	spec.Tenant = "acme"
+	id, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var be *BudgetError
+	if _, err := s.Submit(spec); !errors.As(err, &be) || be.Reason != ReasonMaxInFlight {
+		t.Fatalf("over-budget submit err = %v, want BudgetError reason %s", err, ReasonMaxInFlight)
+	}
+	// An unlisted tenant is unbudgeted (no "*" default configured).
+	other := quickSpec(100, 2)
+	other.Tenant = "globex"
+	if _, err := s.Submit(other); err != nil {
+		t.Fatalf("unbudgeted tenant refused: %v", err)
+	}
+	// Cancelling the queued job frees the slot immediately.
+	if err := s.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(spec); err != nil {
+		t.Fatalf("submit after slot release refused: %v", err)
+	}
+}
+
+// The submit-rate token bucket refills on the service clock; the test
+// injects one to make the refill deterministic.
+func TestTenantSubmitRateLimit(t *testing.T) {
+	s := New(Config{Workers: 1, Tenants: map[string]TenantBudget{
+		// "*" budgets every tenant without its own entry.
+		"*": {SubmitRate: 1, SubmitBurst: 1},
+	}})
+	defer s.Close()
+	s.Hold()
+	defer s.Release()
+	now := time.Unix(1_000_000, 0)
+	s.now = func() time.Time { return now }
+
+	spec := quickSpec(100, 1)
+	spec.Tenant = "anyone"
+	if _, err := s.Submit(spec); err != nil {
+		t.Fatalf("first submit refused: %v", err)
+	}
+	var be *BudgetError
+	if _, err := s.Submit(spec); !errors.As(err, &be) || be.Reason != ReasonRateLimited {
+		t.Fatalf("rate-limited submit err = %v, want BudgetError reason %s", err, ReasonRateLimited)
+	}
+	if be.RetryAfter <= 0 || be.RetryAfter > time.Second {
+		t.Fatalf("RetryAfter = %v, want within (0, 1s]", be.RetryAfter)
+	}
+	// Tenants refill independently: a different tenant has its own bucket.
+	other := quickSpec(100, 2)
+	other.Tenant = "someone-else"
+	if _, err := s.Submit(other); err != nil {
+		t.Fatalf("independent tenant refused: %v", err)
+	}
+	// After the advertised wait the bucket has a token again.
+	now = now.Add(be.RetryAfter + time.Millisecond)
+	if _, err := s.Submit(spec); err != nil {
+		t.Fatalf("submit after refill refused: %v", err)
+	}
+}
+
+// A tenant whose completed jobs consumed the cluster-second budget is
+// refused until the operator raises it.
+func TestTenantClusterBudgetExhaustion(t *testing.T) {
+	s := New(Config{Workers: 1, Tenants: map[string]TenantBudget{
+		"acme": {MaxClusterSec: 1}, // any real session costs far more
+	}})
+	defer s.Close()
+
+	spec := quickSpec(100, 1)
+	spec.Tenant = "acme"
+	id, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Result(id); err != nil {
+		t.Fatal(err)
+	}
+	var be *BudgetError
+	if _, err := s.Submit(spec); !errors.As(err, &be) || be.Reason != ReasonClusterBudget {
+		t.Fatalf("post-exhaustion submit err = %v, want BudgetError reason %s", err, ReasonClusterBudget)
+	}
+}
+
+// A job-level cluster-second budget degrades the session mid-flight: the
+// result still carries a tuned configuration, flagged with the cause.
+func TestJobClusterBudgetDegrades(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	spec := quickSpec(100, 1)
+	spec.MaxClusterSec = 1
+	id, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Result(id)
+	if err != nil {
+		t.Fatalf("budget-cut job failed: %v", err)
+	}
+	if !strings.Contains(res.Degraded, "budget") {
+		t.Fatalf("Degraded = %q; want the budget cause", res.Degraded)
+	}
+	if res.TunedSec <= 0 || len(res.BestParams) == 0 {
+		t.Fatalf("degenerate degraded result %+v", res)
+	}
+}
+
+// A wall-clock deadline cuts a session short the same way; the paper-scale
+// budgets make the session long enough that a sub-second deadline reliably
+// expires mid-flight.
+func TestJobDeadlineDegrades(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	spec := JobSpec{
+		Cluster: "arm", Benchmark: "TPC-H", DataSizeGB: 100, Seed: 1,
+		DeadlineSec: 0.2,
+	}
+	id, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Result(id)
+	if err != nil {
+		t.Fatalf("deadline-cut job failed: %v", err)
+	}
+	if !strings.Contains(res.Degraded, "deadline") {
+		t.Fatalf("Degraded = %q; want the deadline cause", res.Degraded)
+	}
+}
+
+// Submissions, cancellations and Close racing against a draining pool: no
+// panic (the classic send-on-closed-queue), the pool bound holds, and every
+// accepted job reaches a terminal state.
+func TestSubmitCancelCloseRace(t *testing.T) {
+	const workers = 2
+	s := New(Config{Workers: workers, QueueCap: 4, CheckpointEvery: -1})
+	var (
+		mu  sync.Mutex
+		ids []string
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				spec := quickSpec(100+float64(g), int64(g*1000+i+1))
+				if rng.Intn(2) == 0 {
+					spec.Priority = PriorityInteractive
+				}
+				id, err := s.Submit(spec)
+				if err != nil {
+					continue // queue full or closed: expected under pressure
+				}
+				mu.Lock()
+				ids = append(ids, id)
+				mu.Unlock()
+				if rng.Intn(3) == 0 {
+					_ = s.Cancel(id)
+				}
+			}
+		}(g)
+	}
+	// Watch pool occupancy while the storm runs.
+	maxRunning := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if st := s.Stats(); st.Running > maxRunning {
+				maxRunning = st.Running
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	time.Sleep(150 * time.Millisecond)
+	s.Close() // drain while submitters are still firing
+	close(stop)
+	wg.Wait()
+
+	if maxRunning > workers {
+		t.Fatalf("observed %d concurrent sessions; pool bound is %d", maxRunning, workers)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, id := range ids {
+		st, err := s.Status(id)
+		if err != nil {
+			t.Fatalf("accepted job %s unknown after Close", id)
+		}
+		if !st.State.Terminal() {
+			t.Fatalf("job %s left in state %s after Close", id, st.State)
+		}
+	}
+	stats := s.Stats()
+	if got := stats.Finished(); got != len(ids) {
+		t.Fatalf("finished %d of %d accepted jobs", got, len(ids))
+	}
+}

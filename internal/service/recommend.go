@@ -481,6 +481,11 @@ func (s *Service) Recommend(req RecommendRequest) (*Recommendation, error) {
 	if o.MinConfidence <= 0 {
 		o.MinConfidence = s.cfg.RecommendConfidence
 	}
+	// Refine and fallback jobs are work a user is waiting on: they default
+	// to the interactive priority class unless the caller says otherwise.
+	if req.JobSpec.Priority == "" {
+		req.JobSpec.Priority = PriorityInteractive
+	}
 	rec, prior, err := s.rec.Recommend(req.JobSpec, o)
 	if err != nil {
 		s.metrics.recommendOutcome("error").Inc()

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -19,9 +20,38 @@ import (
 	"locat/internal/workloads"
 )
 
+// Priority is a job's scheduling class. Interactive work (recommend
+// refinements, deadline-bounded tuning a user is waiting on) dispatches
+// ahead of batch work, and under overload only batch jobs are shed.
+type Priority string
+
+// The two priority classes. Batch is the default: a plain tuning job is
+// throughput work.
+const (
+	PriorityInteractive Priority = "interactive"
+	PriorityBatch       Priority = "batch"
+)
+
 // JobSpec describes one tuning job. It mirrors the tunable subset of the
 // public locat.Options and is the wire format of the HTTP submit endpoint.
 type JobSpec struct {
+	// Tenant attributes the job to a tenant for per-tenant budget
+	// enforcement (Config.Tenants). Empty is the anonymous tenant; tenants
+	// do not partition the history store — warm-start sharing across
+	// tenants is deliberate (same workload, same physics).
+	Tenant string `json:"tenant,omitempty"`
+	// Priority is the scheduling class: "interactive" dispatches ahead of
+	// "batch" (the default) and is never shed under overload.
+	Priority Priority `json:"priority,omitempty"`
+	// DeadlineSec, when positive, bounds the job's wall-clock session time:
+	// past the deadline the session stops at the next evaluation boundary
+	// and returns its best-so-far configuration as a Degraded result.
+	DeadlineSec float64 `json:"deadline_sec,omitempty"`
+	// MaxClusterSec, when positive, bounds the simulated cluster seconds
+	// the session may spend tuning — the deterministic twin of DeadlineSec
+	// (overhead is part of the tuning trajectory, so the cutoff point is
+	// reproducible bit for bit). Exceeding it degrades, like a deadline.
+	MaxClusterSec float64 `json:"max_cluster_sec,omitempty"`
 	// Cluster is "arm" (default) or "x86".
 	Cluster string `json:"cluster,omitempty"`
 	// Benchmark is one of locat.Benchmarks(); default "TPC-DS".
@@ -48,6 +78,18 @@ type JobSpec struct {
 }
 
 func (s *JobSpec) normalize() error {
+	if s.Priority == "" {
+		s.Priority = PriorityBatch
+	}
+	if s.Priority != PriorityInteractive && s.Priority != PriorityBatch {
+		return fmt.Errorf("service: unknown priority %q (want interactive or batch)", s.Priority)
+	}
+	if s.DeadlineSec < 0 {
+		return errors.New("service: negative deadline")
+	}
+	if s.MaxClusterSec < 0 {
+		return errors.New("service: negative cluster-second budget")
+	}
 	if s.Cluster == "" {
 		s.Cluster = "arm"
 	}
@@ -85,18 +127,31 @@ func (s JobSpec) cluster() *sparksim.Cluster {
 // State is a job's lifecycle position.
 type State string
 
-// Job lifecycle states. Terminal states are Succeeded, Failed, Cancelled.
+// Job lifecycle states. Terminal states are Succeeded, Failed, Cancelled,
+// Shed and Suspended.
 const (
 	StateQueued    State = "queued"
 	StateRunning   State = "running"
 	StateSucceeded State = "succeeded"
 	StateFailed    State = "failed"
 	StateCancelled State = "cancelled"
+	// StateShed marks a queued batch job displaced by an interactive
+	// submission under overload: it never ran, by the service's own
+	// admission decision rather than the caller's.
+	StateShed State = "shed"
+	// StateSuspended marks a job parked by a graceful drain: its progress is
+	// checkpointed and a restart with Config.Resume requeues it under the
+	// same ID. Terminal in this process, not for the job.
+	StateSuspended State = "suspended"
 )
 
-// Terminal reports whether the state is final.
+// Terminal reports whether the state is final in this process.
 func (s State) Terminal() bool {
-	return s == StateSucceeded || s == StateFailed || s == StateCancelled
+	switch s {
+	case StateSucceeded, StateFailed, StateCancelled, StateShed, StateSuspended:
+		return true
+	}
+	return false
 }
 
 // JobResult is the outcome of a finished tuning job.
@@ -139,8 +194,10 @@ type JobResult struct {
 	// ResumedRuns counts executions served from the job's checkpoint
 	// instead of re-executed after a restart.
 	ResumedRuns int64 `json:"resumed_runs,omitempty"`
-	// Degraded, when non-empty, records that the backend died mid-session
-	// and why; the result is the best configuration observed before death.
+	// Degraded, when non-empty, records that the session was cut short —
+	// backend death, an expired deadline, or an exhausted cluster-second
+	// budget — and why; the result is the best configuration observed
+	// before the cutoff.
 	Degraded string `json:"degraded,omitempty"`
 	// FellBack reports the session's guardrail replaced the selected
 	// configuration with the Spark defaults because the selection evaluated
@@ -175,7 +232,14 @@ type job struct {
 	started   time.Time
 	finished  time.Time
 	cancelled atomic.Bool
-	done      chan struct{}
+	// suspend asks the running session to park at the next evaluation
+	// boundary with its checkpoint intact — the graceful-drain signal, as
+	// opposed to cancellation (which discards the job).
+	suspend atomic.Bool
+	// released records that the job's in-flight slot went back to its
+	// tenant (guarded by the service mutex; set exactly once).
+	released bool
+	done     chan struct{}
 	// resume is the checkpoint the job restarts from (nil for fresh jobs):
 	// set at startup for jobs interrupted by a process death, and refreshed
 	// between in-process retry attempts.
@@ -252,6 +316,16 @@ type Config struct {
 	// recently written key is evicted wholesale, so the store and its k-NN
 	// index stay bounded on a long-lived service.
 	MaxHistoryKeys int
+	// Tenants maps tenant names to budgets; the DefaultTenant ("*") entry
+	// applies to every unlisted tenant. Nil or absent entries leave tenants
+	// unbudgeted. Over-budget submissions are rejected with a *BudgetError
+	// (429 + Retry-After over HTTP).
+	Tenants map[string]TenantBudget
+	// Observers are appended to the per-run observation chain of every
+	// session backend (after the job tally and run metrics). Observational
+	// only — they cannot alter results; the load-test experiment uses one
+	// to charge service-executed runs to its benchmark session.
+	Observers []runner.RunObserver
 }
 
 // ErrQueueFull rejects a submission against a full job queue — the
@@ -275,9 +349,17 @@ type Service struct {
 	seq       int
 	closed    bool
 	factories map[string]*runner.Factory
+	// tenants is the per-tenant budget accounting (lazily populated).
+	tenants map[string]*tenantState
 
-	queue chan *job
-	wg    sync.WaitGroup
+	disp *dispatcher
+	wg   sync.WaitGroup
+
+	// ready gates /readyz: false until startup resume has requeued the
+	// backlog, false again the moment a drain begins.
+	ready atomic.Bool
+	// now is the admission clock (swapped by rate-limit tests).
+	now func() time.Time
 
 	// rec is the zero-execution recommendation engine (k-NN retrieval over
 	// the history store).
@@ -320,7 +402,9 @@ func New(cfg Config) *Service {
 		store:     cfg.Store,
 		jobs:      map[string]*job{},
 		factories: map[string]*runner.Factory{},
-		queue:     make(chan *job, cfg.QueueCap),
+		tenants:   map[string]*tenantState{},
+		disp:      newDispatcher(cfg.QueueCap),
+		now:       time.Now,
 	}
 	s.metrics = newServiceMetrics(cfg.Metrics, s)
 	s.rec = NewRecommender(cfg.Store)
@@ -346,8 +430,24 @@ func New(cfg Config) *Service {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	s.ready.Store(true)
 	return s
 }
+
+// Ready reports whether the service accepts work: true once startup resume
+// has requeued the interrupted backlog, false again the moment a drain
+// begins. /readyz serves it as the readiness probe.
+func (s *Service) Ready() bool { return s.ready.Load() }
+
+// Hold parks the worker pool without refusing submissions: jobs accumulate
+// in the dispatch queue until Release. With the pool held, admission and
+// shedding are a pure function of the submission order — the worker count
+// cannot influence which jobs are accepted, which is what makes the
+// load-test experiment's per-tenant counters reproducible bit for bit.
+func (s *Service) Hold() { s.disp.hold() }
+
+// Release reopens dispatch after Hold.
+func (s *Service) Release() { s.disp.release() }
 
 // resumeCheckpointed requeues every checkpointed job left behind by a dead
 // process, under its original ID and with the checkpoint attached, before
@@ -377,11 +477,27 @@ func (s *Service) resumeCheckpointed() {
 			done:      make(chan struct{}),
 			resume:    cp,
 		}
-		select {
-		case s.queue <- j:
-		default:
-			s.logf("resume: queue full; dropping checkpointed job %s", id)
+		// Specs checkpointed before priorities existed normalize to batch.
+		if err := j.spec.normalize(); err != nil {
+			s.logf("resume: checkpoint %s holds an invalid spec: %v", id, err)
 			continue
+		}
+		// Resumed jobs re-enter admission accounting (they occupy queue and
+		// tenant capacity) but pay no rate token — they were admitted once.
+		shed, ok := s.disp.enqueue(j)
+		if !ok {
+			s.logf("resume: queue full; leaving checkpointed job %s for the next restart", id)
+			continue
+		}
+		s.tenantLocked(j.spec.Tenant).inFlight++
+		if shed != nil && shed.state == StateQueued {
+			// An interactive resume displaced an earlier-resumed batch job.
+			// Its checkpoint stays behind, so the next restart retries it —
+			// shed here means deferred, not lost.
+			s.shedLocked(shed)
+			close(shed.done)
+			s.metrics.admission("shed").Inc()
+			s.logf("[%s] shed: displaced by resumed %s", shed.id, j.id)
 		}
 		// Keep the ID sequence monotonic past every resumed job, so fresh
 		// submissions never collide with resumed IDs.
@@ -446,23 +562,72 @@ func (s *Service) submit(spec JobSpec, seed *core.Prior, from []Neighbor) (strin
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.metrics.admission("closed").Inc()
 		return "", ErrClosed
+	}
+	// Per-tenant budgets first (nothing consumed on refusal), then the
+	// shared queue bound. Only a fully admitted submission pays a rate
+	// token and an in-flight slot.
+	ts := s.tenantLocked(spec.Tenant)
+	if err := ts.admitLocked(spec.Tenant, s.now()); err != nil {
+		s.mu.Unlock()
+		var be *BudgetError
+		if errors.As(err, &be) {
+			s.metrics.admission(be.Reason).Inc()
+		}
+		return "", err
 	}
 	s.seq++
 	j.id = fmt.Sprintf("job-%06d", s.seq)
-	select {
-	case s.queue <- j:
-	default:
+	shed, ok := s.disp.enqueue(j)
+	if !ok {
 		s.seq-- // admission refused; do not burn the ID
 		s.mu.Unlock()
+		s.metrics.admission("queue_full").Inc()
 		return "", fmt.Errorf("%w (%d jobs)", ErrQueueFull, s.cfg.QueueCap)
+	}
+	ts.chargeLocked()
+	if shed != nil && shed.state != StateQueued {
+		// The evicted slot held a job already cancelled while queued; its
+		// lifecycle is settled, nothing to account.
+		shed = nil
+	}
+	if shed != nil {
+		s.shedLocked(shed)
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.mu.Unlock()
-	s.logf("[%s] queued: %s %s %.0f GB (fingerprint %s)",
-		j.id, spec.Cluster, spec.Benchmark, spec.DataSizeGB, j.fp.Key())
+	s.metrics.admission("accepted").Inc()
+	if shed != nil {
+		close(shed.done)
+		s.metrics.admission("shed").Inc()
+		s.logf("[%s] shed: displaced by interactive %s under overload", shed.id, j.id)
+	}
+	s.logf("[%s] queued: %s %s %.0f GB %s/%s (fingerprint %s)",
+		j.id, spec.Cluster, spec.Benchmark, spec.DataSizeGB,
+		tenantName(spec.Tenant), spec.Priority, j.fp.Key())
 	return j.id, nil
+}
+
+// tenantName renders the anonymous tenant readably in logs.
+func tenantName(t string) string {
+	if t == "" {
+		return "default"
+	}
+	return t
+}
+
+// shedLocked settles a batch job evicted from the queue by an interactive
+// submission under overload. The caller closes shed.done outside the
+// service mutex. The job's checkpoint (if it was a resumed job) is left in
+// place deliberately: a shed resumed job is deferred to the next restart,
+// not lost.
+func (s *Service) shedLocked(shed *job) {
+	shed.state = StateShed
+	shed.finished = time.Now()
+	shed.err = "shed: displaced by interactive work under overload"
+	s.releaseTenantLocked(shed)
 }
 
 // Status returns a job's current snapshot.
@@ -529,6 +694,10 @@ func (s *Service) Result(id string) (*JobResult, error) {
 		return j.result, nil
 	case StateCancelled:
 		return nil, fmt.Errorf("service: job %s cancelled", id)
+	case StateShed:
+		return nil, fmt.Errorf("service: job %s shed under overload; resubmit", id)
+	case StateSuspended:
+		return nil, fmt.Errorf("service: job %s suspended by drain; resumes on restart", id)
 	default:
 		return nil, fmt.Errorf("service: job %s failed: %s", id, j.err)
 	}
@@ -548,6 +717,7 @@ func (s *Service) Cancel(id string) error {
 	if j.state == StateQueued {
 		j.state = StateCancelled
 		j.finished = time.Now()
+		s.releaseTenantLocked(j)
 		s.mu.Unlock()
 		close(j.done)
 		s.logf("[%s] cancelled while queued", id)
@@ -565,10 +735,14 @@ type Stats struct {
 	Succeeded int `json:"succeeded"`
 	Failed    int `json:"failed"`
 	Cancelled int `json:"cancelled"`
+	Shed      int `json:"shed"`
+	Suspended int `json:"suspended"`
 }
 
 // Finished is the number of jobs in any terminal state.
-func (st Stats) Finished() int { return st.Succeeded + st.Failed + st.Cancelled }
+func (st Stats) Finished() int {
+	return st.Succeeded + st.Failed + st.Cancelled + st.Shed + st.Suspended
+}
 
 // Stats reports the queue and pool occupancy and the terminal-state
 // breakdown.
@@ -588,6 +762,10 @@ func (s *Service) Stats() Stats {
 			st.Failed++
 		case StateCancelled:
 			st.Cancelled++
+		case StateShed:
+			st.Shed++
+		case StateSuspended:
+			st.Suspended++
 		}
 	}
 	return st
@@ -615,9 +793,16 @@ func (s *Service) Trace(id string) ([]obs.SpanRecord, error) {
 	return tl.Snapshot(), nil
 }
 
-// Close stops accepting submissions, cancels still-queued jobs and waits
-// for running sessions to finish.
+// Close drains the service gracefully: intake stops (readiness flips
+// first, so load balancers stop routing before submissions start failing),
+// queued jobs are checkpointed as Suspended instead of cancelled, running
+// sessions are asked to park at the next evaluation boundary with their
+// checkpoints intact, and a restart with Config.Resume requeues all of
+// them under their original IDs — an accepted job survives Close. Only
+// when the store cannot hold checkpoints (or checkpointing is disabled)
+// does Close fall back to cancelling the backlog.
 func (s *Service) Close() {
+	s.ready.Store(false)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -625,20 +810,53 @@ func (s *Service) Close() {
 		return
 	}
 	s.closed = true
-	// Cancel the backlog so draining workers skip it instead of running it.
-	var drop []*job
-	for _, j := range s.jobs {
-		if j.state == StateQueued {
+	cs, canCkpt := s.store.(CheckpointStore)
+	canCkpt = canCkpt && s.checkpointEvery > 0
+	// Pull the backlog out of the dispatcher atomically: workers never see
+	// these jobs, so each is either suspended (checkpointed for the next
+	// incarnation) or cancelled, but never half-run.
+	var settle []*job
+	for _, j := range s.disp.drain() {
+		if j.state != StateQueued {
+			continue // cancelled while queued; already settled
+		}
+		if canCkpt {
+			cp := j.resume
+			if cp == nil {
+				cp = &Checkpoint{JobID: j.id, Spec: j.spec, Fingerprint: j.fp.Key(),
+					CreatedUnix: time.Now().Unix()}
+			}
+			if err := cs.PutCheckpoint(*cp); err != nil {
+				s.logf("[%s] drain checkpoint failed: %v; cancelling instead", j.id, err)
+				j.cancelled.Store(true)
+				j.state = StateCancelled
+			} else {
+				j.state = StateSuspended
+				j.err = "suspended: service drained; resume with Config.Resume"
+			}
+		} else {
 			j.cancelled.Store(true)
 			j.state = StateCancelled
-			j.finished = time.Now()
-			drop = append(drop, j)
+		}
+		j.finished = time.Now()
+		s.releaseTenantLocked(j)
+		settle = append(settle, j)
+	}
+	if canCkpt {
+		// Running sessions park at the next evaluation boundary and flush
+		// their checkpoints; without a checkpoint store they simply run to
+		// completion as before.
+		for _, j := range s.jobs {
+			if j.state == StateRunning {
+				j.suspend.Store(true)
+			}
 		}
 	}
-	close(s.queue)
+	s.disp.close()
 	s.mu.Unlock()
-	for _, j := range drop {
+	for _, j := range settle {
 		close(j.done)
+		s.logf("[%s] %s on drain", j.id, j.state)
 	}
 	s.wg.Wait()
 	// Flush backend factories (trace sinks of recording backends) once no
@@ -656,10 +874,14 @@ func (s *Service) Close() {
 
 func (s *Service) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for {
+		j, ok := s.disp.dequeue()
+		if !ok {
+			return
+		}
 		s.mu.Lock()
 		if j.state != StateQueued {
-			// Cancelled (directly or by Close) while waiting in the queue.
+			// Cancelled while waiting in the queue; already settled.
 			s.mu.Unlock()
 			continue
 		}
@@ -670,6 +892,12 @@ func (s *Service) worker() {
 		s.metrics.queueWait.Observe(j.started.Sub(j.submitted).Seconds())
 		res, err := s.runJobSafe(j)
 		switch {
+		case errors.Is(err, core.ErrStopped) && j.suspend.Load() && !j.cancelled.Load():
+			// Parked by a graceful drain: the session flushed its checkpoint
+			// on the way out, so the next incarnation resumes it. Keep the
+			// checkpoint — this is the one non-terminal "terminal" state.
+			s.finish(j, StateSuspended, nil, nil)
+			continue
 		case errors.Is(err, core.ErrStopped):
 			s.finish(j, StateCancelled, nil, nil)
 		case err != nil:
@@ -683,7 +911,7 @@ func (s *Service) worker() {
 			s.finish(j, StateSucceeded, res, nil)
 		}
 		// Terminal states retire the checkpoint: only jobs interrupted by a
-		// process death leave one behind for Resume to find.
+		// process death or parked by a drain leave one behind for Resume.
 		s.dropCheckpoint(j.id)
 	}
 }
@@ -707,13 +935,13 @@ func (s *Service) requeueForRetry(j *job, cause error) bool {
 		return false
 	}
 	requeued := false
-	select {
-	case s.queue <- j:
+	// Retries re-enter the job's own priority lane but never evict anyone:
+	// a flapping job must not displace healthy queued work.
+	if s.disp.requeue(j) {
 		j.attempts++
 		j.state = StateQueued
 		j.submitted = time.Now()
 		requeued = true
-	default:
 	}
 	s.mu.Unlock()
 	if requeued {
@@ -742,6 +970,15 @@ func (s *Service) finish(j *job, st State, res *JobResult, err error) {
 	if err != nil {
 		j.err = err.Error()
 	}
+	if st == StateSuspended {
+		j.err = "suspended: service drained; resume with Config.Resume"
+	}
+	s.releaseTenantLocked(j)
+	if st == StateSucceeded && res != nil {
+		// Cluster time is charged when it is known, not when the job is
+		// admitted: the budget meters what the tenant actually consumed.
+		s.tenantLocked(j.spec.Tenant).clusterSec += res.ClusterSec
+	}
 	started := j.started
 	s.mu.Unlock()
 	if !started.IsZero() {
@@ -756,6 +993,8 @@ func (s *Service) finish(j *job, st State, res *JobResult, err error) {
 		s.logf("[%s] failed: %v", j.id, err)
 	case StateCancelled:
 		s.logf("[%s] cancelled", j.id)
+	case StateSuspended:
+		s.logf("[%s] suspended mid-session; checkpoint holds its progress", j.id)
 	}
 }
 
@@ -814,17 +1053,20 @@ func (s *Service) runJob(j *job) (*JobResult, error) {
 		}()
 	}
 	// Every execution the session issues is charged to the job's tally and
-	// the service-wide run metrics; the wrapper is observational only, so
-	// replayed traces still match recorded ones bit for bit.
+	// the service-wide run metrics, then to any Config.Observers; the whole
+	// chain is observational only, so replayed traces still match recorded
+	// ones bit for bit.
 	var tally runner.Tally
-	observed := runner.Observe(inner, &tally, s.metrics.runs)
+	watchers := append([]runner.RunObserver{&tally, s.metrics.runs}, s.cfg.Observers...)
+	observed := runner.Observe(inner, watchers...)
 	run := runner.Runner(observed)
 	// The checkpoint cache sits outermost so resumed runs are served before
 	// they reach the tally — a resumed session's Runs counts only what it
 	// actually re-executed (the acceptance bar for resume is zero).
 	var cache *runner.Cache
+	var ckp *checkpointer
 	if cs, ok := s.store.(CheckpointStore); ok && s.checkpointEvery > 0 {
-		ckp := newCheckpointer(cs, j, s.checkpointEvery, s.metrics, s.cfg.Logf)
+		ckp = newCheckpointer(cs, j, s.checkpointEvery, s.metrics, s.cfg.Logf)
 		var paid []runner.TraceEntry
 		if j.resume != nil && runner.CapsOf(raw).Deterministic {
 			// A deterministic backend re-drives the identical trajectory, so
@@ -850,9 +1092,18 @@ func (s *Service) runJob(j *job) (*JobResult, error) {
 	opts.UseQCSA = !spec.DisableQCSA
 	opts.UseIICP = !spec.DisableIICP
 	opts.UseDAGP = !spec.DisableDAGP
-	opts.Stop = j.cancelled.Load
+	// Stop covers both user cancellation and the graceful-drain suspend
+	// signal — the worker disambiguates on the way out.
+	opts.Stop = func() bool { return j.cancelled.Load() || j.suspend.Load() }
 	opts.Logf = progress.Prefixed(s.cfg.Logf, "["+j.id+"] ")
 	opts.Tracer = j.timeline
+	opts.MaxClusterSec = spec.MaxClusterSec
+	if spec.DeadlineSec > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(),
+			time.Duration(spec.DeadlineSec*float64(time.Second)))
+		defer cancel()
+		opts.Expired = func() bool { return ctx.Err() != nil }
+	}
 
 	if !spec.ColdStart && opts.UseDAGP {
 		if j.seed != nil {
@@ -882,6 +1133,12 @@ func (s *Service) runJob(j *job) (*JobResult, error) {
 
 	rep, err := core.New(run, app, opts).Tune(spec.DataSizeGB)
 	if err != nil {
+		if errors.Is(err, core.ErrStopped) && j.suspend.Load() && !j.cancelled.Load() && ckp != nil {
+			// Parked by a drain: persist the tail of the trajectory so the
+			// next incarnation resumes from the exact stop point, not the
+			// last periodic flush.
+			ckp.flush()
+		}
 		return nil, err
 	}
 	if rep.Degraded == "" {
@@ -889,7 +1146,7 @@ func (s *Service) runJob(j *job) (*JobResult, error) {
 			return nil, fmt.Errorf("service: execution backend failed: %w", err)
 		}
 	} else {
-		s.logf("[%s] degraded: backend died mid-session (%s); recommending best observed", j.id, rep.Degraded)
+		s.logf("[%s] degraded: %s; recommending best observed", j.id, rep.Degraded)
 	}
 
 	res := &JobResult{

@@ -83,6 +83,24 @@ type Options struct {
 	// for re-validating a workload from scratch. Ignored by Tune, which
 	// never consults a history store.
 	ColdStart bool
+	// Tenant attributes a Service job to a tenant for per-tenant budget
+	// enforcement (ServiceOptions.Tenants). Empty is the anonymous tenant.
+	// Tenants do not partition the history store — warm-start sharing
+	// across tenants is deliberate. Ignored by Tune.
+	Tenant string
+	// Priority is a Service job's scheduling class: "interactive"
+	// dispatches ahead of "batch" (the default) and is never shed under
+	// overload. Ignored by Tune.
+	Priority string
+	// DeadlineSec, when positive, bounds a Service job's wall-clock session
+	// time: past the deadline the session stops at the next evaluation
+	// boundary and returns its best-so-far configuration as a Degraded
+	// result. Ignored by Tune.
+	DeadlineSec float64
+	// MaxClusterSec, when positive, bounds the simulated cluster seconds a
+	// Service job may spend tuning — the deterministic twin of DeadlineSec.
+	// Exceeding it degrades the result, like a deadline. Ignored by Tune.
+	MaxClusterSec float64
 	// Parallelism bounds the goroutines used for the session's parallel
 	// work: the concurrent execution slots of independent sample-collection
 	// runs (phase-1 LHS samples, warm-start anchors) and the MCMC chains of

@@ -56,10 +56,32 @@ type ServiceOptions struct {
 	// (whole least-recently-written keys are evicted past the cap). Zero
 	// picks 1024; negative is unbounded.
 	MaxHistoryKeys int
+	// Tenants maps tenant names to admission budgets; the "*" entry applies
+	// to every unlisted tenant. Nil leaves all tenants unbudgeted.
+	// Over-budget submissions fail immediately (429 + Retry-After over
+	// HTTP) instead of queueing.
+	Tenants map[string]TenantBudget
+}
+
+// TenantBudget bounds one tenant's admission. Zero fields are unlimited.
+type TenantBudget struct {
+	// MaxInFlight caps the tenant's queued-plus-running jobs.
+	MaxInFlight int
+	// SubmitRate and SubmitBurst are a token bucket on submissions:
+	// sustained jobs per second and the bucket depth above it (depth
+	// defaults to max(1, ceil(SubmitRate)) when a rate is set).
+	SubmitRate  float64
+	SubmitBurst int
+	// MaxClusterSec caps the tenant's cumulative simulated cluster seconds
+	// across all completed jobs; once exhausted, new submissions are
+	// refused until the operator raises the budget.
+	MaxClusterSec float64
 }
 
 // JobState is a job's lifecycle position: "queued", "running", "succeeded",
-// "failed" or "cancelled".
+// "failed", "cancelled", "shed" (a queued batch job displaced by
+// interactive work under overload) or "suspended" (parked by a graceful
+// drain; a restart with Resume requeues it under the same ID).
 type JobState string
 
 // Terminal reports whether the state is final.
@@ -118,6 +140,17 @@ func NewService(o ServiceOptions) (*Service, error) {
 		RecommendConfidence:  o.RecommendConfidence,
 		MaxHistoryKeys:       o.MaxHistoryKeys,
 	}
+	if len(o.Tenants) > 0 {
+		cfg.Tenants = make(map[string]service.TenantBudget, len(o.Tenants))
+		for name, b := range o.Tenants {
+			cfg.Tenants[name] = service.TenantBudget{
+				MaxInFlight:   b.MaxInFlight,
+				SubmitRate:    b.SubmitRate,
+				SubmitBurst:   b.SubmitBurst,
+				MaxClusterSec: b.MaxClusterSec,
+			}
+		}
+	}
 	if o.HistoryDir != "" {
 		fs, err := service.NewFileStore(o.HistoryDir)
 		if err != nil {
@@ -137,6 +170,10 @@ func specOf(o Options) (service.JobSpec, error) {
 		return service.JobSpec{}, fmt.Errorf("locat: service jobs do not support Schedule; tune with a fixed target size (warm starts cover the size-change scenario)")
 	}
 	return service.JobSpec{
+		Tenant:        o.Tenant,
+		Priority:      service.Priority(o.Priority),
+		DeadlineSec:   o.DeadlineSec,
+		MaxClusterSec: o.MaxClusterSec,
 		Cluster:       o.Cluster,
 		Benchmark:     o.Benchmark,
 		DataSizeGB:    o.DataSizeGB,
@@ -415,6 +452,14 @@ func RecommendFromHistory(dir string, o Options, ro RecommendOptions) (*Recommen
 // Handler returns the service's HTTP+JSON API (see cmd/locat-serve).
 func (s *Service) Handler() http.Handler { return s.svc.Handler() }
 
-// Close stops accepting submissions, cancels queued jobs and waits for
-// running sessions to finish.
+// Ready reports whether the service accepts work: true once startup resume
+// has requeued the interrupted backlog, false again the moment a drain
+// begins. The HTTP handler serves it as /readyz.
+func (s *Service) Ready() bool { return s.svc.Ready() }
+
+// Close drains the service: submissions stop, queued and running jobs are
+// checkpointed (not cancelled) when the store supports it, and a restart
+// with Resume picks every suspended job back up under its original ID.
+// Without checkpointing, queued jobs are cancelled and running sessions
+// run to completion.
 func (s *Service) Close() { s.svc.Close() }
